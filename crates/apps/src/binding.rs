@@ -1,0 +1,170 @@
+//! Bindings between panel widgets and appliance FCM commands.
+
+use uniint_havi::fcm::{AirconMode, FcmCommand, Transport};
+use uniint_havi::id::Seid;
+use uniint_wsys::event::Action;
+
+/// What a bound widget controls on its FCM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlKind {
+    /// Power toggle (any class).
+    Power,
+    /// Volume slider (amplifier).
+    Volume,
+    /// Mute toggle (amplifier).
+    Mute,
+    /// Channel up button (tuner).
+    ChannelUp,
+    /// Channel down button (tuner).
+    ChannelDown,
+    /// Direct channel entry field (tuner).
+    ChannelEntry,
+    /// VCR transport button.
+    Transport(Transport),
+    /// Brightness slider (display).
+    Brightness,
+    /// Dimmer slider (light).
+    Dimmer,
+    /// Target temperature slider (aircon), value in tenths of °C.
+    TargetTemp,
+    /// Aircon mode list.
+    AirconMode,
+}
+
+/// The modes shown by the aircon mode list, in row order.
+pub const AIRCON_MODES: [AirconMode; 4] = [
+    AirconMode::Cool,
+    AirconMode::Heat,
+    AirconMode::Dry,
+    AirconMode::Fan,
+];
+
+/// A widget→FCM binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// The FCM the widget controls.
+    pub seid: Seid,
+    /// What aspect it controls.
+    pub control: ControlKind,
+}
+
+impl Binding {
+    /// Translates a widget action through this binding into an FCM
+    /// command, or `None` when the action does not produce one (e.g.
+    /// intermediate text edits).
+    pub fn command_for(&self, action: &Action) -> Option<FcmCommand> {
+        match (self.control, action) {
+            (ControlKind::Power, Action::Toggled(on)) => Some(FcmCommand::SetPower(*on)),
+            (ControlKind::Mute, Action::Toggled(on)) => Some(FcmCommand::SetMute(*on)),
+            (ControlKind::Volume, Action::ValueChanged(v)) => Some(FcmCommand::SetVolume(*v)),
+            (ControlKind::Brightness, Action::ValueChanged(v)) => {
+                Some(FcmCommand::SetBrightness(*v))
+            }
+            (ControlKind::Dimmer, Action::ValueChanged(v)) => Some(FcmCommand::SetDimmer(*v)),
+            (ControlKind::TargetTemp, Action::ValueChanged(v)) => {
+                Some(FcmCommand::SetTargetTemp(*v))
+            }
+            (ControlKind::ChannelUp, Action::Clicked) => Some(FcmCommand::StepChannel(1)),
+            (ControlKind::ChannelDown, Action::Clicked) => Some(FcmCommand::StepChannel(-1)),
+            (ControlKind::ChannelEntry, Action::Submitted(text)) => {
+                text.trim().parse::<u32>().ok().map(FcmCommand::SetChannel)
+            }
+            (ControlKind::Transport(t), Action::Clicked) => Some(FcmCommand::Transport(t)),
+            (ControlKind::AirconMode, Action::Selected(i)) => {
+                AIRCON_MODES.get(*i).copied().map(FcmCommand::SetAirconMode)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniint_havi::id::Guid;
+
+    fn b(control: ControlKind) -> Binding {
+        Binding {
+            seid: Seid::new(Guid(1), 1),
+            control,
+        }
+    }
+
+    #[test]
+    fn power_toggle_maps() {
+        assert_eq!(
+            b(ControlKind::Power).command_for(&Action::Toggled(true)),
+            Some(FcmCommand::SetPower(true))
+        );
+    }
+
+    #[test]
+    fn sliders_map_values() {
+        assert_eq!(
+            b(ControlKind::Volume).command_for(&Action::ValueChanged(42)),
+            Some(FcmCommand::SetVolume(42))
+        );
+        assert_eq!(
+            b(ControlKind::TargetTemp).command_for(&Action::ValueChanged(235)),
+            Some(FcmCommand::SetTargetTemp(235))
+        );
+    }
+
+    #[test]
+    fn channel_buttons_step() {
+        assert_eq!(
+            b(ControlKind::ChannelUp).command_for(&Action::Clicked),
+            Some(FcmCommand::StepChannel(1))
+        );
+        assert_eq!(
+            b(ControlKind::ChannelDown).command_for(&Action::Clicked),
+            Some(FcmCommand::StepChannel(-1))
+        );
+    }
+
+    #[test]
+    fn channel_entry_parses_digits() {
+        assert_eq!(
+            b(ControlKind::ChannelEntry).command_for(&Action::Submitted(" 7 ".into())),
+            Some(FcmCommand::SetChannel(7))
+        );
+        assert_eq!(
+            b(ControlKind::ChannelEntry).command_for(&Action::Submitted("abc".into())),
+            None
+        );
+        assert_eq!(
+            b(ControlKind::ChannelEntry).command_for(&Action::TextChanged("7".into())),
+            None,
+            "only submit fires"
+        );
+    }
+
+    #[test]
+    fn transport_buttons() {
+        assert_eq!(
+            b(ControlKind::Transport(Transport::Play)).command_for(&Action::Clicked),
+            Some(FcmCommand::Transport(Transport::Play))
+        );
+    }
+
+    #[test]
+    fn aircon_mode_selection() {
+        assert_eq!(
+            b(ControlKind::AirconMode).command_for(&Action::Selected(1)),
+            Some(FcmCommand::SetAirconMode(AirconMode::Heat))
+        );
+        assert_eq!(
+            b(ControlKind::AirconMode).command_for(&Action::Selected(99)),
+            None
+        );
+    }
+
+    #[test]
+    fn mismatched_action_yields_none() {
+        assert_eq!(b(ControlKind::Power).command_for(&Action::Clicked), None);
+        assert_eq!(
+            b(ControlKind::Volume).command_for(&Action::Toggled(true)),
+            None
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # uniint-apps
+//!
+//! Home-appliance applications for the universal-interaction
+//! reproduction: a control-panel generator that discovers FCMs through
+//! the HAVi registry and composes one window from per-appliance sections
+//! ([`panels`]), with typed widget→command [`binding`]s and live state
+//! mirroring ([`app::ControlPanelApp`]).
+//!
+//! Crucially, the application is written against the ordinary widget
+//! toolkit only — it contains no knowledge of PDAs, phones or voice.
+//! That separation is the paper's point: the same unmodified panel is
+//! operated from every interaction device through the UniInt proxy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod binding;
+pub mod monitor;
+pub mod panels;
+pub mod scenes;
+pub mod scheduler;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::app::{ControlPanelApp, ProcessReport, PANEL_WIDTH};
+    pub use crate::binding::{Binding, ControlKind, AIRCON_MODES};
+    pub use crate::monitor::{summarize, StatusMonitorApp};
+    pub use crate::panels::{
+        apply_state, build_section, fmt_time, section_height, state_key, PanelSection, StateKey,
+    };
+    pub use crate::scenes::{standard_scenes, Scene, ScenePanelApp, SceneReport, SceneStep};
+    pub use crate::scheduler::{Recording, RecordingScheduler, RecordingState, ScheduleError};
+}

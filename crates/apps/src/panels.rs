@@ -1,0 +1,646 @@
+//! Per-appliance panel sections: given an FCM's class and state, add the
+//! widgets that control it and report their bindings.
+//!
+//! This is the paper's "home appliance application generates a control
+//! panel for currently available appliances": one section per discovered
+//! FCM, composed vertically into a single window.
+
+use crate::binding::{Binding, ControlKind, AIRCON_MODES};
+use uniint_havi::fcm::{FcmClass, StateVar, Transport};
+use uniint_havi::id::Seid;
+use uniint_raster::color::Color;
+use uniint_raster::framebuffer::Framebuffer;
+use uniint_raster::geom::Rect;
+use uniint_wsys::layout::{columns, rows, Cell};
+use uniint_wsys::ui::Ui;
+use uniint_wsys::widgets::{
+    Align, Button, ImageView, Label, ListBox, ProgressBar, Slider, Spinner, TextField, Toggle,
+};
+
+/// Which piece of FCM state a status widget displays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateKey {
+    /// Power state (toggle).
+    Power,
+    /// Volume (slider).
+    Volume,
+    /// Mute (toggle).
+    Mute,
+    /// Channel number (label).
+    Channel,
+    /// Transport state (label).
+    Transport,
+    /// Tape position (progress bar).
+    TapePos,
+    /// Brightness (slider).
+    Brightness,
+    /// Dimmer (slider).
+    Dimmer,
+    /// Target temperature (slider).
+    TargetTemp,
+    /// Room temperature (label).
+    RoomTemp,
+    /// Time of day (label).
+    Time,
+    /// Aircon mode (list).
+    Mode,
+    /// Display input source (label).
+    Input,
+    /// Camera frame counter (image view).
+    Frame,
+}
+
+/// The widgets a section created: command bindings plus status displays.
+#[derive(Debug, Default)]
+pub struct PanelSection {
+    /// Widget → FCM command bindings.
+    pub bindings: Vec<(uniint_wsys::event::WidgetId, Binding)>,
+    /// (FCM, state key) → widget displaying it.
+    pub status: Vec<((Seid, StateKey), uniint_wsys::event::WidgetId)>,
+}
+
+impl PanelSection {
+    fn bind(&mut self, id: uniint_wsys::event::WidgetId, seid: Seid, control: ControlKind) {
+        self.bindings.push((id, Binding { seid, control }));
+    }
+
+    fn track(&mut self, id: uniint_wsys::event::WidgetId, seid: Seid, key: StateKey) {
+        self.status.push(((seid, key), id));
+    }
+}
+
+/// Pixel height of the section for a given FCM class (including header).
+pub fn section_height(class: FcmClass) -> u32 {
+    match class {
+        FcmClass::Tuner => 44,
+        FcmClass::Display => 44,
+        FcmClass::Vcr => 70,
+        FcmClass::Amplifier => 44,
+        FcmClass::Light => 44,
+        FcmClass::AirConditioner => 100,
+        FcmClass::Clock => 30,
+        FcmClass::Camera => 110,
+    }
+}
+
+fn state_bool(status: &[StateVar], pick: impl Fn(&StateVar) -> Option<bool>) -> bool {
+    status.iter().find_map(pick).unwrap_or(false)
+}
+
+fn state_i32(status: &[StateVar], pick: impl Fn(&StateVar) -> Option<i32>, dflt: i32) -> i32 {
+    status.iter().find_map(pick).unwrap_or(dflt)
+}
+
+/// Builds the section for one FCM inside `area`, seeded from its current
+/// `status` snapshot. Returns the widget bindings.
+pub fn build_section(
+    ui: &mut Ui,
+    area: Rect,
+    seid: Seid,
+    class: FcmClass,
+    name: &str,
+    status: &[StateVar],
+) -> PanelSection {
+    let mut sec = PanelSection::default();
+    let parts = rows(area, &[Cell::Fixed(14), Cell::Weight(1)], 0);
+    let (header, body) = (parts[0], parts[1]);
+    ui.add(
+        Label::with_align(format!("{name} [{class}]"), Align::Left),
+        header,
+    );
+
+    let power_on = state_bool(status, |v| match v {
+        StateVar::Power(b) => Some(*b),
+        _ => None,
+    });
+
+    match class {
+        FcmClass::Tuner => {
+            let cells = columns(
+                body.inset(2),
+                &[
+                    Cell::Fixed(56),
+                    Cell::Fixed(34),
+                    Cell::Fixed(44),
+                    Cell::Fixed(34),
+                    Cell::Weight(1),
+                ],
+                4,
+            );
+            let power = ui.add(Toggle::new("Power", power_on), cells[0]);
+            sec.bind(power, seid, ControlKind::Power);
+            sec.track(power, seid, StateKey::Power);
+            let down = ui.add(Button::new("Ch-"), cells[1]);
+            sec.bind(down, seid, ControlKind::ChannelDown);
+            let ch = state_i32(
+                status,
+                |v| match v {
+                    StateVar::Channel(c) => Some(*c as i32),
+                    _ => None,
+                },
+                1,
+            );
+            let ch_label = ui.add(Label::new(format!("{ch}")), cells[2]);
+            sec.track(ch_label, seid, StateKey::Channel);
+            let up = ui.add(Button::new("Ch+"), cells[3]);
+            sec.bind(up, seid, ControlKind::ChannelUp);
+            let entry = ui.add(TextField::new("").with_max_len(3), cells[4]);
+            sec.bind(entry, seid, ControlKind::ChannelEntry);
+        }
+        FcmClass::Display => {
+            let cells = columns(body.inset(2), &[Cell::Fixed(56), Cell::Weight(1)], 4);
+            let power = ui.add(Toggle::new("Power", power_on), cells[0]);
+            sec.bind(power, seid, ControlKind::Power);
+            sec.track(power, seid, StateKey::Power);
+            let b = state_i32(
+                status,
+                |v| match v {
+                    StateVar::Brightness(x) => Some(*x),
+                    _ => None,
+                },
+                70,
+            );
+            let bright = ui.add(Slider::new(0, 100, b, 10), cells[1]);
+            sec.bind(bright, seid, ControlKind::Brightness);
+            sec.track(bright, seid, StateKey::Brightness);
+        }
+        FcmClass::Vcr => {
+            let body_rows = rows(body.inset(2), &[Cell::Fixed(26), Cell::Fixed(22)], 2);
+            let cells = columns(
+                body_rows[0],
+                &[
+                    Cell::Fixed(56),
+                    Cell::Weight(1),
+                    Cell::Weight(1),
+                    Cell::Weight(1),
+                    Cell::Weight(1),
+                    Cell::Weight(1),
+                ],
+                3,
+            );
+            let power = ui.add(Toggle::new("Power", power_on), cells[0]);
+            sec.bind(power, seid, ControlKind::Power);
+            sec.track(power, seid, StateKey::Power);
+            for (i, (cap, t)) in [
+                ("<<", Transport::Rewind),
+                ("Play", Transport::Play),
+                ("Stop", Transport::Stop),
+                (">>", Transport::FastForward),
+                ("Rec", Transport::Record),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let btn = ui.add(Button::new(cap), cells[i + 1]);
+                sec.bind(btn, seid, ControlKind::Transport(t));
+            }
+            let lower = columns(body_rows[1], &[Cell::Fixed(70), Cell::Weight(1)], 4);
+            let t_label = ui.add(Label::with_align("stop", Align::Left), lower[0]);
+            sec.track(t_label, seid, StateKey::Transport);
+            let pos = state_i32(
+                status,
+                |v| match v {
+                    StateVar::TapePos(p) => Some(*p as i32),
+                    _ => None,
+                },
+                0,
+            );
+            let tape = ui.add(ProgressBar::new(0, 3600, pos), lower[1]);
+            sec.track(tape, seid, StateKey::TapePos);
+        }
+        FcmClass::Amplifier => {
+            let cells = columns(
+                body.inset(2),
+                &[Cell::Fixed(56), Cell::Fixed(52), Cell::Weight(1)],
+                4,
+            );
+            let power = ui.add(Toggle::new("Power", power_on), cells[0]);
+            sec.bind(power, seid, ControlKind::Power);
+            sec.track(power, seid, StateKey::Power);
+            let muted = state_bool(status, |v| match v {
+                StateVar::Mute(m) => Some(*m),
+                _ => None,
+            });
+            let mute = ui.add(Toggle::new("Mute", muted), cells[1]);
+            sec.bind(mute, seid, ControlKind::Mute);
+            sec.track(mute, seid, StateKey::Mute);
+            let vol = state_i32(
+                status,
+                |v| match v {
+                    StateVar::Volume(x) => Some(*x),
+                    _ => None,
+                },
+                30,
+            );
+            let slider = ui.add(Slider::new(0, 100, vol, 5), cells[2]);
+            sec.bind(slider, seid, ControlKind::Volume);
+            sec.track(slider, seid, StateKey::Volume);
+        }
+        FcmClass::Light => {
+            let cells = columns(body.inset(2), &[Cell::Fixed(56), Cell::Weight(1)], 4);
+            let power = ui.add(Toggle::new("Power", power_on), cells[0]);
+            sec.bind(power, seid, ControlKind::Power);
+            sec.track(power, seid, StateKey::Power);
+            let dim = state_i32(
+                status,
+                |v| match v {
+                    StateVar::Dimmer(x) => Some(*x),
+                    _ => None,
+                },
+                100,
+            );
+            let slider = ui.add(Slider::new(0, 100, dim, 10), cells[1]);
+            sec.bind(slider, seid, ControlKind::Dimmer);
+            sec.track(slider, seid, StateKey::Dimmer);
+        }
+        FcmClass::AirConditioner => {
+            let body_rows = rows(body.inset(2), &[Cell::Fixed(26), Cell::Weight(1)], 2);
+            let cells = columns(
+                body_rows[0],
+                &[Cell::Fixed(56), Cell::Weight(1), Cell::Fixed(60)],
+                4,
+            );
+            let power = ui.add(Toggle::new("Power", power_on), cells[0]);
+            sec.bind(power, seid, ControlKind::Power);
+            sec.track(power, seid, StateKey::Power);
+            let target = state_i32(
+                status,
+                |v| match v {
+                    StateVar::TargetTemp(t) => Some(*t),
+                    _ => None,
+                },
+                250,
+            );
+            let spinner = ui.add(
+                Spinner::new(160, 320, target, 5).with_suffix(" x0.1C"),
+                cells[1],
+            );
+            sec.bind(spinner, seid, ControlKind::TargetTemp);
+            sec.track(spinner, seid, StateKey::TargetTemp);
+            let room = state_i32(
+                status,
+                |v| match v {
+                    StateVar::RoomTemp(t) => Some(*t),
+                    _ => None,
+                },
+                250,
+            );
+            let room_label = ui.add(
+                Label::new(format!("{}.{}C", room / 10, room % 10)),
+                cells[2],
+            );
+            sec.track(room_label, seid, StateKey::RoomTemp);
+            let modes = ui.add(
+                ListBox::new(AIRCON_MODES.iter().map(|m| m.to_string()).collect()),
+                body_rows[1],
+            );
+            sec.bind(modes, seid, ControlKind::AirconMode);
+            sec.track(modes, seid, StateKey::Mode);
+        }
+        FcmClass::Clock => {
+            let secs = state_i32(
+                status,
+                |v| match v {
+                    StateVar::TimeOfDay(t) => Some(*t as i32),
+                    _ => None,
+                },
+                0,
+            );
+            let label = ui.add(Label::new(fmt_time(secs as u32)), body.inset(2));
+            sec.track(label, seid, StateKey::Time);
+        }
+        FcmClass::Camera => {
+            let body_rows = rows(body.inset(2), &[Cell::Fixed(22), Cell::Weight(1)], 2);
+            let power = ui.add(Toggle::new("Power", power_on), body_rows[0]);
+            sec.bind(power, seid, ControlKind::Power);
+            sec.track(power, seid, StateKey::Power);
+            let counter = state_i32(
+                status,
+                |v| match v {
+                    StateVar::FrameCounter(c) => Some(*c as i32),
+                    _ => None,
+                },
+                0,
+            );
+            let view = if power_on {
+                ImageView::with_image(camera_frame(counter as u32))
+            } else {
+                ImageView::new()
+            };
+            let img = ui.add(view, body_rows[1]);
+            sec.track(img, seid, StateKey::Frame);
+        }
+    }
+    sec
+}
+
+/// Synthesizes the camera's current frame from its counter: a moving
+/// diagonal gradient with a bouncing "subject" square. Deterministic per
+/// counter so viewers on different devices render identical frames (the
+/// middleware carries control state, not video; see `CameraFcm`).
+pub fn camera_frame(counter: u32) -> Framebuffer {
+    let (w, h) = (96u32, 72u32);
+    let mut fb = Framebuffer::new(w, h, Color::BLACK);
+    let t = counter as i32;
+    for y in 0..h as i32 {
+        for x in 0..w as i32 {
+            let v = (((x + y + t * 3) % 64) * 4) as u8;
+            fb.set_pixel(
+                uniint_raster::geom::Point::new(x, y),
+                Color::rgb(v / 2, v, v / 3 + 60),
+            );
+        }
+    }
+    // The bouncing subject.
+    let px = (t * 5) % (2 * (w as i32 - 16));
+    let sx = if px < w as i32 - 16 {
+        px
+    } else {
+        2 * (w as i32 - 16) - px
+    };
+    let sy = ((t * 3) % (2 * (h as i32 - 16)) - (h as i32 - 16)).abs();
+    fb.fill_rect(Rect::new(sx, sy.min(h as i32 - 16), 16, 16), Color::WHITE);
+    fb
+}
+
+/// Formats seconds-since-midnight as `HH:MM:SS`.
+pub fn fmt_time(secs: u32) -> String {
+    format!(
+        "{:02}:{:02}:{:02}",
+        secs / 3600 % 24,
+        secs / 60 % 60,
+        secs % 60
+    )
+}
+
+/// Applies one state variable to the widget registered for it.
+pub fn apply_state(ui: &mut Ui, widget: uniint_wsys::event::WidgetId, var: &StateVar) {
+    match var {
+        StateVar::Power(on) | StateVar::Mute(on) => {
+            if let Some(t) = ui.widget_mut::<Toggle>(widget) {
+                t.set_on(*on);
+            }
+        }
+        StateVar::Volume(v)
+        | StateVar::Brightness(v)
+        | StateVar::Dimmer(v)
+        | StateVar::TargetTemp(v) => {
+            if let Some(s) = ui.widget_mut::<Slider>(widget) {
+                s.set_value(*v);
+            } else if let Some(s) = ui.widget_mut::<Spinner>(widget) {
+                s.set_value(*v);
+            }
+        }
+        StateVar::Channel(c) => {
+            if let Some(l) = ui.widget_mut::<Label>(widget) {
+                l.set_text(format!("{c}"));
+            }
+        }
+        StateVar::Transport(t) => {
+            if let Some(l) = ui.widget_mut::<Label>(widget) {
+                l.set_text(t.to_string());
+            }
+        }
+        StateVar::TapePos(p) => {
+            if let Some(b) = ui.widget_mut::<ProgressBar>(widget) {
+                b.set_value(*p as i32);
+            }
+        }
+        StateVar::RoomTemp(t) => {
+            if let Some(l) = ui.widget_mut::<Label>(widget) {
+                l.set_text(format!("{}.{}C", t / 10, t % 10));
+            }
+        }
+        StateVar::TimeOfDay(t) => {
+            if let Some(l) = ui.widget_mut::<Label>(widget) {
+                l.set_text(fmt_time(*t));
+            }
+        }
+        StateVar::AirconMode(m) => {
+            if let Some(list) = ui.widget_mut::<ListBox>(widget) {
+                let idx = AIRCON_MODES.iter().position(|x| x == m);
+                list.set_selected(idx);
+            }
+        }
+        StateVar::Input(i) => {
+            if let Some(l) = ui.widget_mut::<Label>(widget) {
+                l.set_text(format!("in {i}"));
+            }
+        }
+        StateVar::FrameCounter(c) => {
+            if let Some(v) = ui.widget_mut::<ImageView>(widget) {
+                v.set_image(camera_frame(*c));
+            }
+        }
+    }
+}
+
+/// The [`StateKey`] a state variable updates.
+pub fn state_key(var: &StateVar) -> StateKey {
+    match var {
+        StateVar::Power(_) => StateKey::Power,
+        StateVar::Volume(_) => StateKey::Volume,
+        StateVar::Mute(_) => StateKey::Mute,
+        StateVar::Channel(_) => StateKey::Channel,
+        StateVar::Transport(_) => StateKey::Transport,
+        StateVar::TapePos(_) => StateKey::TapePos,
+        StateVar::Brightness(_) => StateKey::Brightness,
+        StateVar::Dimmer(_) => StateKey::Dimmer,
+        StateVar::TargetTemp(_) => StateKey::TargetTemp,
+        StateVar::RoomTemp(_) => StateKey::RoomTemp,
+        StateVar::TimeOfDay(_) => StateKey::Time,
+        StateVar::AirconMode(_) => StateKey::Mode,
+        StateVar::Input(_) => StateKey::Input,
+        StateVar::FrameCounter(_) => StateKey::Frame,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniint_havi::id::Guid;
+    use uniint_wsys::theme::Theme;
+
+    fn seid() -> Seid {
+        Seid::new(Guid(1), 1)
+    }
+
+    fn ui() -> Ui {
+        Ui::new(320, 400, Theme::classic(), "t")
+    }
+
+    #[test]
+    fn tuner_section_widgets_and_bindings() {
+        let mut ui = ui();
+        let sec = build_section(
+            &mut ui,
+            Rect::new(0, 0, 320, section_height(FcmClass::Tuner)),
+            seid(),
+            FcmClass::Tuner,
+            "TV Tuner",
+            &[StateVar::Power(true), StateVar::Channel(7)],
+        );
+        assert_eq!(sec.bindings.len(), 4, "power, ch-, ch+, entry");
+        assert_eq!(sec.status.len(), 2, "power, channel label");
+        // Power toggle reflects initial state.
+        let (power_id, _) = sec.bindings[0];
+        assert!(ui.widget::<Toggle>(power_id).unwrap().is_on());
+    }
+
+    #[test]
+    fn amplifier_slider_seeded_with_volume() {
+        let mut ui = ui();
+        let sec = build_section(
+            &mut ui,
+            Rect::new(0, 0, 320, 44),
+            seid(),
+            FcmClass::Amplifier,
+            "Amp",
+            &[StateVar::Volume(65)],
+        );
+        let slider_id = sec
+            .bindings
+            .iter()
+            .find(|(_, b)| b.control == ControlKind::Volume)
+            .unwrap()
+            .0;
+        assert_eq!(ui.widget::<Slider>(slider_id).unwrap().value(), 65);
+    }
+
+    #[test]
+    fn vcr_has_five_transport_buttons() {
+        let mut ui = ui();
+        let sec = build_section(
+            &mut ui,
+            Rect::new(0, 0, 320, 70),
+            seid(),
+            FcmClass::Vcr,
+            "Deck",
+            &[],
+        );
+        let transports = sec
+            .bindings
+            .iter()
+            .filter(|(_, b)| matches!(b.control, ControlKind::Transport(_)))
+            .count();
+        assert_eq!(transports, 5);
+    }
+
+    #[test]
+    fn every_class_builds_without_panic() {
+        for class in FcmClass::ALL {
+            let mut ui = ui();
+            let h = section_height(class);
+            let sec = build_section(&mut ui, Rect::new(0, 0, 320, h), seid(), class, "X", &[]);
+            // All section widgets fit in the given area.
+            for id in ui.widget_ids() {
+                let r = ui.widget_rect(id).unwrap();
+                assert!(
+                    Rect::new(0, 0, 320, h).contains_rect(r),
+                    "{class}: widget {r} overflows section"
+                );
+            }
+            drop(sec);
+        }
+    }
+
+    #[test]
+    fn apply_state_updates_widgets() {
+        let mut ui = ui();
+        let sec = build_section(
+            &mut ui,
+            Rect::new(0, 0, 320, 44),
+            seid(),
+            FcmClass::Amplifier,
+            "Amp",
+            &[],
+        );
+        let ((_, _), slider_id) = *sec
+            .status
+            .iter()
+            .find(|((_, k), _)| *k == StateKey::Volume)
+            .unwrap();
+        apply_state(&mut ui, slider_id, &StateVar::Volume(88));
+        assert_eq!(ui.widget::<Slider>(slider_id).unwrap().value(), 88);
+    }
+
+    #[test]
+    fn fmt_time_wraps() {
+        assert_eq!(fmt_time(0), "00:00:00");
+        assert_eq!(fmt_time(3661), "01:01:01");
+        assert_eq!(fmt_time(86_400), "00:00:00");
+    }
+
+    #[test]
+    fn state_key_total() {
+        // Every StateVar maps to a key (compile-time exhaustive match, but
+        // exercise a few).
+        assert_eq!(state_key(&StateVar::Power(true)), StateKey::Power);
+        assert_eq!(state_key(&StateVar::TapePos(3)), StateKey::TapePos);
+        assert_eq!(
+            state_key(&StateVar::AirconMode(uniint_havi::fcm::AirconMode::Dry)),
+            StateKey::Mode
+        );
+    }
+}
+
+#[cfg(test)]
+mod camera_tests {
+    use super::*;
+    use uniint_havi::id::Guid;
+    use uniint_wsys::theme::Theme;
+    use uniint_wsys::ui::Ui;
+
+    #[test]
+    fn camera_section_has_power_and_image() {
+        let mut ui = Ui::new(320, 200, Theme::classic(), "t");
+        let sec = build_section(
+            &mut ui,
+            Rect::new(0, 0, 320, section_height(FcmClass::Camera)),
+            Seid::new(Guid(1), 1),
+            FcmClass::Camera,
+            "Door Cam",
+            &[StateVar::Power(true), StateVar::FrameCounter(5)],
+        );
+        assert_eq!(sec.bindings.len(), 1, "power only");
+        assert_eq!(sec.status.len(), 2, "power + frame");
+        let img_id = sec
+            .status
+            .iter()
+            .find(|((_, k), _)| *k == StateKey::Frame)
+            .unwrap()
+            .1;
+        assert!(ui.widget::<ImageView>(img_id).unwrap().has_image());
+    }
+
+    #[test]
+    fn camera_frames_differ_over_time() {
+        let a = camera_frame(0);
+        let b = camera_frame(7);
+        assert_ne!(a, b);
+        // Deterministic.
+        assert_eq!(camera_frame(7), b);
+    }
+
+    #[test]
+    fn apply_frame_counter_updates_image() {
+        let mut ui = Ui::new(320, 200, Theme::classic(), "t");
+        let sec = build_section(
+            &mut ui,
+            Rect::new(0, 0, 320, section_height(FcmClass::Camera)),
+            Seid::new(Guid(1), 1),
+            FcmClass::Camera,
+            "Cam",
+            &[],
+        );
+        let img_id = sec
+            .status
+            .iter()
+            .find(|((_, k), _)| *k == StateKey::Frame)
+            .unwrap()
+            .1;
+        assert!(!ui.widget::<ImageView>(img_id).unwrap().has_image());
+        apply_state(&mut ui, img_id, &StateVar::FrameCounter(3));
+        assert!(ui.widget::<ImageView>(img_id).unwrap().has_image());
+    }
+}

@@ -1,0 +1,298 @@
+//! Timer recording: a headless "havlet" that programs VCR recordings —
+//! the classic home-computing coordination task (clock FCM + tuner FCM +
+//! VCR FCM working together with no user present).
+
+use uniint_havi::fcm::{FcmClass, FcmCommand, StateVar, Transport};
+use uniint_havi::id::Seid;
+use uniint_havi::network::HomeNetwork;
+use uniint_havi::registry::Query;
+
+/// One programmed recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recording {
+    /// Start, seconds since midnight.
+    pub start_s: u32,
+    /// End, seconds since midnight (must be after start; no overnight
+    /// wrap in this model).
+    pub end_s: u32,
+    /// Channel to record.
+    pub channel: u32,
+}
+
+/// Lifecycle state of one programmed entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordingState {
+    /// Waiting for its start time.
+    Armed,
+    /// Currently recording.
+    Recording,
+    /// Completed (or aborted past its window).
+    Done,
+}
+
+#[derive(Debug)]
+struct Entry {
+    rec: Recording,
+    state: RecordingState,
+}
+
+/// Drives VCR recordings from the home clock. Call
+/// [`process`](Self::process) periodically (e.g. after `net.tick`).
+#[derive(Debug)]
+pub struct RecordingScheduler {
+    entries: Vec<Entry>,
+    clock: Seid,
+    tuner: Seid,
+    vcr: Seid,
+}
+
+/// Errors from scheduler construction/programming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A required FCM class is missing from the network.
+    MissingFcm(FcmClass),
+    /// `end_s <= start_s` or times out of the day range.
+    InvalidWindow,
+}
+
+impl core::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScheduleError::MissingFcm(c) => write!(f, "no {c} fcm on the network"),
+            ScheduleError::InvalidWindow => f.write_str("invalid recording window"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl RecordingScheduler {
+    /// Creates a scheduler bound to the first clock, tuner and VCR found.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::MissingFcm`] when any of the three is absent.
+    pub fn new(net: &HomeNetwork) -> Result<RecordingScheduler, ScheduleError> {
+        let find = |class: FcmClass| {
+            net.registry()
+                .find(&Query::new().class(class))
+                .map(|r| r.seid)
+                .ok_or(ScheduleError::MissingFcm(class))
+        };
+        Ok(RecordingScheduler {
+            entries: Vec::new(),
+            clock: find(FcmClass::Clock)?,
+            tuner: find(FcmClass::Tuner)?,
+            vcr: find(FcmClass::Vcr)?,
+        })
+    }
+
+    /// Programs a recording.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidWindow`] for empty or out-of-day windows.
+    pub fn program(&mut self, rec: Recording) -> Result<(), ScheduleError> {
+        if rec.end_s <= rec.start_s || rec.end_s > 86_400 {
+            return Err(ScheduleError::InvalidWindow);
+        }
+        self.entries.push(Entry {
+            rec,
+            state: RecordingState::Armed,
+        });
+        Ok(())
+    }
+
+    /// States of all programmed entries, in programming order.
+    pub fn states(&self) -> Vec<RecordingState> {
+        self.entries.iter().map(|e| e.state).collect()
+    }
+
+    /// Reads the clock and starts/stops recordings accordingly. Returns
+    /// the number of FCM commands issued.
+    pub fn process(&mut self, net: &mut HomeNetwork) -> u32 {
+        let Ok(vars) = net.status(self.clock) else {
+            return 0;
+        };
+        let Some(now) = vars.iter().find_map(|v| match v {
+            StateVar::TimeOfDay(t) => Some(*t),
+            _ => None,
+        }) else {
+            return 0;
+        };
+        let mut sent = 0;
+        for e in &mut self.entries {
+            match e.state {
+                RecordingState::Armed if now >= e.rec.start_s && now < e.rec.end_s => {
+                    // Start: power up, tune, roll tape.
+                    for cmd in [
+                        FcmCommand::SetPower(true),
+                        FcmCommand::SetChannel(e.rec.channel),
+                    ] {
+                        if net.send(self.tuner, &cmd).is_ok() {
+                            sent += 1;
+                        }
+                    }
+                    for cmd in [
+                        FcmCommand::SetPower(true),
+                        FcmCommand::Transport(Transport::Record),
+                    ] {
+                        if net.send(self.vcr, &cmd).is_ok() {
+                            sent += 1;
+                        }
+                    }
+                    e.state = RecordingState::Recording;
+                }
+                RecordingState::Armed if now >= e.rec.end_s => {
+                    // Missed entirely (clock jumped past the window).
+                    e.state = RecordingState::Done;
+                }
+                RecordingState::Recording if now >= e.rec.end_s => {
+                    if net
+                        .send(self.vcr, &FcmCommand::Transport(Transport::Stop))
+                        .is_ok()
+                    {
+                        sent += 1;
+                    }
+                    e.state = RecordingState::Done;
+                }
+                _ => {}
+            }
+        }
+        sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniint_havi::fcms::{ClockFcm, TunerFcm, VcrFcm};
+    use uniint_havi::network::DeviceSpec;
+
+    fn home(start_time: u32) -> HomeNetwork {
+        let mut net = HomeNetwork::new();
+        net.attach(DeviceSpec::new("Clock", "hall").with_fcm(ClockFcm::new("Clock", start_time)));
+        net.attach(DeviceSpec::new("TV", "lr").with_fcm(TunerFcm::new("Tuner", 12)));
+        net.attach(DeviceSpec::new("VCR", "lr").with_fcm(VcrFcm::new("Deck", 7200)));
+        net
+    }
+
+    #[test]
+    fn missing_fcm_reported() {
+        let mut net = HomeNetwork::new();
+        net.attach(DeviceSpec::new("Clock", "hall").with_fcm(ClockFcm::new("Clock", 0)));
+        assert_eq!(
+            RecordingScheduler::new(&net).unwrap_err(),
+            ScheduleError::MissingFcm(FcmClass::Tuner)
+        );
+    }
+
+    #[test]
+    fn invalid_window_rejected() {
+        let net = home(0);
+        let mut s = RecordingScheduler::new(&net).unwrap();
+        assert_eq!(
+            s.program(Recording {
+                start_s: 100,
+                end_s: 100,
+                channel: 1
+            }),
+            Err(ScheduleError::InvalidWindow)
+        );
+        assert_eq!(
+            s.program(Recording {
+                start_s: 100,
+                end_s: 90_000,
+                channel: 1
+            }),
+            Err(ScheduleError::InvalidWindow)
+        );
+    }
+
+    #[test]
+    fn full_recording_lifecycle() {
+        let mut net = home(990);
+        let mut s = RecordingScheduler::new(&net).unwrap();
+        s.program(Recording {
+            start_s: 1_000,
+            end_s: 1_060,
+            channel: 7,
+        })
+        .unwrap();
+        assert_eq!(s.process(&mut net), 0, "not started yet");
+
+        // 15 simulated seconds pass: inside the window.
+        net.tick(15_000);
+        let sent = s.process(&mut net);
+        assert_eq!(sent, 4, "tuner power+channel, vcr power+record");
+        assert_eq!(s.states(), vec![RecordingState::Recording]);
+        let vcr = net.find_fcms(&Query::new().class(FcmClass::Vcr))[0];
+        let tuner = net.find_fcms(&Query::new().class(FcmClass::Tuner))[0];
+        assert!(net
+            .status(vcr)
+            .unwrap()
+            .contains(&StateVar::Transport(Transport::Record)));
+        assert!(net.status(tuner).unwrap().contains(&StateVar::Channel(7)));
+
+        // Recording proceeds; the tape moves.
+        net.tick(60_000);
+        s.process(&mut net);
+        assert_eq!(s.states(), vec![RecordingState::Done]);
+        let vars = net.status(vcr).unwrap();
+        assert!(
+            vars.contains(&StateVar::Transport(Transport::Stop)),
+            "{vars:?}"
+        );
+        // ~55-60s of tape used (started ~5s into the minute).
+        let pos = vars
+            .iter()
+            .find_map(|v| match v {
+                StateVar::TapePos(p) => Some(*p),
+                _ => None,
+            })
+            .unwrap();
+        assert!((50..=61).contains(&pos), "tape pos {pos}");
+    }
+
+    #[test]
+    fn window_fully_missed_marks_done_without_commands() {
+        let mut net = home(2_000);
+        let mut s = RecordingScheduler::new(&net).unwrap();
+        s.program(Recording {
+            start_s: 1_000,
+            end_s: 1_500,
+            channel: 3,
+        })
+        .unwrap();
+        let sent = s.process(&mut net);
+        assert_eq!(sent, 0);
+        assert_eq!(s.states(), vec![RecordingState::Done]);
+    }
+
+    #[test]
+    fn overlapping_recordings_both_tracked() {
+        let mut net = home(0);
+        let mut s = RecordingScheduler::new(&net).unwrap();
+        s.program(Recording {
+            start_s: 10,
+            end_s: 50,
+            channel: 1,
+        })
+        .unwrap();
+        s.program(Recording {
+            start_s: 30,
+            end_s: 80,
+            channel: 2,
+        })
+        .unwrap();
+        net.tick(35_000);
+        s.process(&mut net);
+        assert_eq!(
+            s.states(),
+            vec![RecordingState::Recording, RecordingState::Recording]
+        );
+        net.tick(60_000); // t = 95
+        s.process(&mut net);
+        assert_eq!(s.states(), vec![RecordingState::Done, RecordingState::Done]);
+    }
+}

@@ -1,0 +1,79 @@
+//! E1 — Uniform control from heterogeneous input devices.
+//!
+//! Measures the end-to-end cost of one command issued from each input
+//! device: device event → input plug-in → universal events → UniInt
+//! server → window system → widget action → FCM command. The paper's
+//! claim is that all devices drive the *same unmodified panel*; the
+//! numbers show what the uniformity costs per modality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uniint_bench::{power_center, standard_scene};
+use uniint_core::plugin::{DeviceEvent, Gesture};
+use uniint_core::prelude::RemoteKey;
+use uniint_devices::prelude::*;
+
+fn bench_inputs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_input_latency");
+
+    // Remote controller: one Ok press on the focused power toggle.
+    group.bench_function("remote_ok", |b| {
+        let (mut net, mut app, mut session) = standard_scene();
+        session.proxy.attach_input(Box::new(RemotePlugin::new()));
+        b.iter(|| {
+            session.device_input(app.ui_mut(), &SimRemote::press(RemoteKey::Ok));
+            black_box(app.process(&mut net));
+        });
+    });
+
+    // PDA stylus: tap the power toggle's screen position.
+    group.bench_function("pda_stylus_tap", |b| {
+        let (mut net, mut app, mut session) = standard_scene();
+        session.proxy.attach_input(Box::new(StylusPlugin::new()));
+        let (x, y) = power_center(&app);
+        b.iter(|| {
+            for ev in SimPda::tap(x, y) {
+                session.device_input(app.ui_mut(), &ev);
+            }
+            black_box(app.process(&mut net));
+        });
+    });
+
+    // Phone keypad: center-key select.
+    group.bench_function("phone_keypad_select", |b| {
+        let (mut net, mut app, mut session) = standard_scene();
+        session.proxy.attach_input(Box::new(KeypadPlugin::new()));
+        let ev = SimPhone::press('5').unwrap();
+        b.iter(|| {
+            session.device_input(app.ui_mut(), &ev);
+            black_box(app.process(&mut net));
+        });
+    });
+
+    // Voice: a recognized "select" utterance.
+    group.bench_function("voice_select", |b| {
+        let (mut net, mut app, mut session) = standard_scene();
+        session.proxy.attach_input(Box::new(VoicePlugin::new()));
+        let ev = DeviceEvent::Voice("select".into());
+        b.iter(|| {
+            session.device_input(app.ui_mut(), &ev);
+            black_box(app.process(&mut net));
+        });
+    });
+
+    // Gesture wearable: fist (= select).
+    group.bench_function("gesture_fist", |b| {
+        let (mut net, mut app, mut session) = standard_scene();
+        session.proxy.attach_input(Box::new(GesturePlugin::new()));
+        let ev = DeviceEvent::Gesture(Gesture::Fist);
+        b.iter(|| {
+            session.device_input(app.ui_mut(), &ev);
+            black_box(app.process(&mut net));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_inputs);
+criterion_main!(benches);

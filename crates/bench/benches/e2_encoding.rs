@@ -1,0 +1,60 @@
+//! E2 — Encoding efficiency of the universal interaction protocol.
+//!
+//! Encode time per (encoding × damage pattern) at the PDA screen size;
+//! the companion `experiments` binary reports the bytes-per-update table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uniint_bench::{DamagePattern, E2_SIZES};
+use uniint_protocol::encoding::{decode_rect, encode_rect, Encoding};
+use uniint_raster::pixel::PixelFormat;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_encode");
+    let size = E2_SIZES[1]; // PDA-sized panel
+    for pattern in DamagePattern::ALL {
+        let (rect, px) = pattern.generate(size);
+        group.throughput(Throughput::Elements(rect.area()));
+        for enc in [
+            Encoding::Raw,
+            Encoding::Rre,
+            Encoding::Hextile,
+            Encoding::Rle,
+            Encoding::PaletteRle,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(enc.to_string(), pattern.name()),
+                &(&rect, &px),
+                |b, (rect, px)| {
+                    b.iter(|| black_box(encode_rect(px, **rect, enc, PixelFormat::Rgb888)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_decode");
+    let size = E2_SIZES[1];
+    let (rect, px) = DamagePattern::FullRepaint.generate(size);
+    for enc in [
+        Encoding::Raw,
+        Encoding::Rre,
+        Encoding::Hextile,
+        Encoding::Rle,
+        Encoding::PaletteRle,
+    ] {
+        let bytes = encode_rect(&px, rect, enc, PixelFormat::Rgb888);
+        group.bench_function(enc.to_string(), |b| {
+            b.iter(|| {
+                let mut cursor: &[u8] = &bytes;
+                black_box(decode_rect(&mut cursor, rect, enc, PixelFormat::Rgb888).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E4 — Dynamic device switching latency.
+//!
+//! Time from a situation change to (a) a new input plug-in attached and
+//! translating, and (b) a new output plug-in producing its first adapted
+//! frame, including the protocol renegotiation round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uniint_bench::standard_scene;
+use uniint_core::prelude::*;
+use uniint_devices::prelude::*;
+
+fn cooking() -> Situation {
+    Situation {
+        zone: "kitchen".into(),
+        activity: Activity::Cooking,
+        hands_busy: true,
+        noise: Noise::Moderate,
+    }
+}
+
+fn sofa() -> Situation {
+    Situation {
+        zone: "living-room".into(),
+        activity: Activity::WatchingTv,
+        hands_busy: false,
+        noise: Noise::Moderate,
+    }
+}
+
+fn bench_switching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_switching");
+
+    // Input-only switch: phone keypad ↔ voice (no renegotiation needed).
+    group.bench_function("input_switch_keypad_voice", |b| {
+        let (_net, _app, mut session) = standard_scene();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            if flip {
+                session.proxy.attach_input(Box::new(VoicePlugin::new()));
+            } else {
+                session.proxy.attach_input(Box::new(KeypadPlugin::new()));
+            }
+            black_box(session.proxy.attached());
+        });
+    });
+
+    // Output switch including full renegotiation + first adapted frame.
+    group.bench_function("output_switch_tv_pda_full", |b| {
+        let (_net, mut app, mut session) = standard_scene();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let msgs = if flip {
+                session.proxy.attach_output(Box::new(ScreenPlugin::pda()))
+            } else {
+                session.proxy.attach_output(Box::new(ScreenPlugin::tv()))
+            };
+            session.deliver_to_server(app.ui_mut(), msgs);
+            black_box(session.take_frame());
+        });
+    });
+
+    // Full coordinator reselection on a situation change.
+    group.bench_function("coordinator_situation_change", |b| {
+        let (_net, mut app, mut session) = standard_scene();
+        let mut coord = Coordinator::new(UserProfile::neutral("u"), sofa());
+        for d in standard_home("kitchen", "living-room") {
+            let report = coord.register(d, &mut session.proxy);
+            session.deliver_to_server(app.ui_mut(), report.messages);
+        }
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let sit = if flip { cooking() } else { sofa() };
+            let report = coord.set_situation(sit, &mut session.proxy);
+            session.deliver_to_server(app.ui_mut(), report.messages);
+            black_box(session.take_frame());
+        });
+    });
+
+    // Policy-only cost: scoring 7 devices without any attachment.
+    group.bench_function("policy_rank_only", |b| {
+        let devices: Vec<DeviceDescriptor> = standard_home("kitchen", "living-room")
+            .iter()
+            .map(|d| d.descriptor().clone())
+            .collect();
+        let sit = cooking();
+        let user = UserProfile::neutral("u");
+        b.iter(|| {
+            black_box(SelectionPolicy.rank_inputs(&devices, &sit, &user));
+            black_box(SelectionPolicy.rank_outputs(&devices, &sit, &user));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_switching);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E5 — Panel composition cost vs. number of available appliances.
+//!
+//! The appliance application regenerates the composed control panel when
+//! devices come and go; this measures discovery + widget construction +
+//! first render as the appliance count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uniint_apps::prelude::*;
+use uniint_bench::home_with;
+use uniint_wsys::prelude::Theme;
+
+fn bench_composition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_composition");
+    for n in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("compose", n), &n, |b, &n| {
+            let mut net = home_with(n);
+            b.iter(|| black_box(ControlPanelApp::new(&mut net, None, Theme::classic())));
+        });
+        group.bench_with_input(BenchmarkId::new("recompose_hotplug", n), &n, |b, &n| {
+            let mut net = home_with(n);
+            let mut app = ControlPanelApp::new(&mut net, None, Theme::classic());
+            b.iter(|| {
+                // A no-op recompose measures the steady-state rebuild the
+                // application performs on every hot-plug event.
+                app.recompose(&mut net);
+                black_box(app.section_count());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_composition);
+criterion_main!(benches);

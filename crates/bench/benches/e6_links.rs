@@ -1,0 +1,59 @@
+//! E6 — Interactive update rate over realistic home links.
+//!
+//! Drives a 20-step slider drag through a full simulated-network session
+//! per link profile. Criterion measures the wall-clock cost of simulating
+//! it; the virtual-time frame rates (the paper-facing numbers) come from
+//! the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uniint_apps::prelude::*;
+use uniint_bench::home_with;
+use uniint_core::prelude::*;
+use uniint_devices::prelude::*;
+use uniint_netsim::prelude::LinkProfile;
+use uniint_wsys::prelude::Theme;
+
+/// One complete drag session over `link`; returns (virtual µs, frames).
+pub fn drag_session(link: LinkProfile, seed: u64) -> (u64, u64) {
+    let mut net = home_with(3);
+    let mut app = ControlPanelApp::new(&mut net, None, Theme::classic());
+    let mut s = SimSession::connect(app.ui_mut(), link, seed).expect("connect");
+    s.proxy.attach_input(Box::new(KeypadPlugin::new()));
+    let msgs = s.proxy.attach_output(Box::new(ScreenPlugin::phone_lcd()));
+    s.send_client(app.ui_mut(), msgs).unwrap();
+    let t0 = s.now_us();
+    // Walk focus to a slider, then arrow-key it 20 steps: every step
+    // damages the screen and ships an incremental update.
+    for _ in 0..4 {
+        s.device_input(app.ui_mut(), &SimPhone::press('8').unwrap())
+            .unwrap();
+        app.process(&mut net);
+        s.settle(app.ui_mut()).unwrap();
+    }
+    for _ in 0..20 {
+        s.device_input(app.ui_mut(), &SimPhone::press('6').unwrap())
+            .unwrap();
+        app.process(&mut net);
+        s.settle(app.ui_mut()).unwrap();
+    }
+    (s.now_us() - t0, s.frames_delivered())
+}
+
+fn bench_links(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_links");
+    group.sample_size(10);
+    for link in LinkProfile::presets() {
+        group.bench_with_input(BenchmarkId::new("drag20", link.name), &link, |b, &link| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(drag_session(link, seed));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_links);
+criterion_main!(benches);

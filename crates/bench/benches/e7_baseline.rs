@@ -1,0 +1,102 @@
+//! E7 — Universal interaction vs. the per-device-native baseline.
+//!
+//! The implicit comparison in the paper: instead of one universal
+//! bitmap/event pipeline, each device could run its own native UI for
+//! each appliance (what vendors shipped in 2002). We measure the same
+//! interaction both ways:
+//!
+//! - **universal**: device event → plug-in → protocol → server → toolkit
+//!   → action → FCM, then bitmap back through adaptation;
+//! - **native**: the device renders its own widget screen directly and
+//!   sends the FCM command itself (no protocol, no proxy, no adaptation).
+//!
+//! The universal path costs more per interaction — that is the price of
+//! supporting *every* device with *zero* per-appliance UI code.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uniint_bench::{home_with, standard_scene};
+use uniint_devices::prelude::*;
+use uniint_havi::prelude::*;
+use uniint_raster::prelude::*;
+use uniint_wsys::prelude::*;
+
+/// The baseline: a device-native screen hard-coded for one appliance.
+struct NativeTvUi {
+    ui: Ui,
+    power: WidgetId,
+}
+
+impl NativeTvUi {
+    fn new() -> NativeTvUi {
+        // A phone-sized native UI, drawn at device resolution directly.
+        let mut ui = Ui::new(128, 128, Theme::classic(), "native TV");
+        let power = ui.add(Toggle::new("Power", false), Rect::new(10, 10, 60, 20));
+        ui.add(Button::new("Ch+"), Rect::new(10, 40, 40, 20));
+        ui.add(Button::new("Ch-"), Rect::new(60, 40, 40, 20));
+        ui.render();
+        NativeTvUi { ui, power }
+    }
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_baseline");
+
+    // Native path: direct widget dispatch + direct FCM command + direct
+    // mono rendering of the 128x128 native screen.
+    group.bench_function("native_per_device_ui", |b| {
+        let mut net = home_with(1);
+        let tuner = net.find_fcms(&Query::new().class(FcmClass::Tuner))[0];
+        let mut native = NativeTvUi::new();
+        let mut on = false;
+        b.iter(|| {
+            for ev in uniint_protocol::input::InputEvent::click(40, 20) {
+                native.ui.dispatch(ev);
+            }
+            for a in native.ui.take_actions() {
+                if a.widget == native.power {
+                    on = !on;
+                    black_box(net.send(tuner, &FcmCommand::SetPower(on)).unwrap());
+                }
+            }
+            native.ui.render();
+            // Device renders its own framebuffer natively (already 1-bit
+            // capable hardware): just hand the raster over.
+            black_box(native.ui.framebuffer().pixels().len());
+        });
+    });
+
+    // Universal path: the same toggle through the full UniInt pipeline,
+    // including phone-LCD output adaptation of the shared panel.
+    group.bench_function("universal_pipeline", |b| {
+        let (mut net, mut app, mut session) = standard_scene();
+        session.proxy.attach_input(Box::new(KeypadPlugin::new()));
+        let msgs = session
+            .proxy
+            .attach_output(Box::new(ScreenPlugin::phone_lcd()));
+        session.deliver_to_server(app.ui_mut(), msgs);
+        let ev = SimPhone::press('5').unwrap();
+        b.iter(|| {
+            session.device_input(app.ui_mut(), &ev);
+            black_box(app.process(&mut net));
+            session.pump(app.ui_mut());
+            black_box(session.take_frame());
+        });
+    });
+
+    // Universal path without output adaptation (input-only cost).
+    group.bench_function("universal_input_only", |b| {
+        let (mut net, mut app, mut session) = standard_scene();
+        session.proxy.attach_input(Box::new(KeypadPlugin::new()));
+        let ev = SimPhone::press('5').unwrap();
+        b.iter(|| {
+            session.device_input(app.ui_mut(), &ev);
+            black_box(app.process(&mut net));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

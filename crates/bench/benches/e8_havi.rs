@@ -1,0 +1,55 @@
+//! E8 — Cost of the HAVi-like substrate: registry discovery and FCM
+//! command routing as the home grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uniint_bench::home_with;
+use uniint_havi::prelude::*;
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_registry");
+    for n in [4usize, 16, 64, 256] {
+        let net = home_with(n);
+        group.bench_with_input(BenchmarkId::new("query_by_class", n), &n, |b, _| {
+            b.iter(|| black_box(net.registry().query(&Query::new().class(FcmClass::Vcr))));
+        });
+        group.bench_with_input(BenchmarkId::new("query_compound", n), &n, |b, _| {
+            let q = Query::new()
+                .kind(ElementKind::Fcm)
+                .zone("living-room")
+                .name_contains("Amp");
+            b.iter(|| black_box(net.registry().query(&q)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_commands(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_commands");
+    for n in [4usize, 64, 256] {
+        let mut net = home_with(n);
+        let amp = net.find_fcms(&Query::new().class(FcmClass::Amplifier))[0];
+        net.send(amp, &FcmCommand::SetPower(true)).unwrap();
+        group.bench_with_input(BenchmarkId::new("volume_roundtrip", n), &n, |b, _| {
+            let mut v = 0;
+            b.iter(|| {
+                v = (v + 1) % 100;
+                black_box(net.send(amp, &FcmCommand::SetVolume(v)).unwrap());
+            });
+        });
+    }
+    // Hot-plug cost: attach + detach one device in a 64-appliance home.
+    group.bench_function("hotplug_64", |b| {
+        let mut net = home_with(64);
+        b.iter(|| {
+            let g = net.attach(
+                DeviceSpec::new("Transient", "hall").with_fcm(LightFcm::new("Transient Light")),
+            );
+            black_box(net.detach(g));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry, bench_commands);
+criterion_main!(benches);

@@ -1,0 +1,236 @@
+//! Shared workload builders for the experiment harness (E1–E8).
+//!
+//! Each experiment in DESIGN.md §4 uses these fixtures so the Criterion
+//! benches and the `experiments` report binary measure identical work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use uniint_apps::prelude::*;
+use uniint_core::prelude::*;
+use uniint_havi::prelude::*;
+use uniint_raster::prelude::*;
+use uniint_wsys::prelude::{Theme, Ui};
+
+/// Builds a home network with `n` appliances cycling through the main
+/// appliance classes (TV tuner+display count as one device).
+pub fn home_with(n: usize) -> HomeNetwork {
+    let mut net = HomeNetwork::new();
+    for i in 0..n {
+        match i % 5 {
+            0 => net.attach(
+                DeviceSpec::new(format!("TV-{i}"), "living-room")
+                    .with_fcm(TunerFcm::new(format!("Tuner {i}"), 12))
+                    .with_fcm(DisplayFcm::new(format!("Display {i}"), 2)),
+            ),
+            1 => net.attach(
+                DeviceSpec::new(format!("VCR-{i}"), "living-room")
+                    .with_fcm(VcrFcm::new(format!("Deck {i}"), 3600)),
+            ),
+            2 => net.attach(
+                DeviceSpec::new(format!("Amp-{i}"), "living-room")
+                    .with_fcm(AmplifierFcm::new(format!("Amp {i}"))),
+            ),
+            3 => net.attach(
+                DeviceSpec::new(format!("Light-{i}"), "living-room")
+                    .with_fcm(LightFcm::new(format!("Light {i}"))),
+            ),
+            _ => net.attach(
+                DeviceSpec::new(format!("AC-{i}"), "living-room")
+                    .with_fcm(AirconFcm::new(format!("AC {i}"), 280)),
+            ),
+        };
+    }
+    net
+}
+
+/// The standard evaluation scene: TV + VCR + amplifier panel with a
+/// connected local session.
+pub fn standard_scene() -> (HomeNetwork, ControlPanelApp, LocalSession) {
+    let mut net = home_with(3);
+    let mut app = ControlPanelApp::new(&mut net, None, Theme::classic());
+    let session = LocalSession::connect(app.ui_mut());
+    (net, app, session)
+}
+
+/// Synthetic GUI damage patterns for the encoding experiment (E2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DamagePattern {
+    /// First paint of a whole panel.
+    FullRepaint,
+    /// A slider knob moving (small chrome-colored churn).
+    SliderDrag,
+    /// A text label changing (small high-contrast churn).
+    TextChange,
+    /// Photographic content (worst case for palette encodings).
+    Noise,
+}
+
+impl DamagePattern {
+    /// All patterns.
+    pub const ALL: [DamagePattern; 4] = [
+        DamagePattern::FullRepaint,
+        DamagePattern::SliderDrag,
+        DamagePattern::TextChange,
+        DamagePattern::Noise,
+    ];
+
+    /// Pattern name for report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            DamagePattern::FullRepaint => "full-repaint",
+            DamagePattern::SliderDrag => "slider-drag",
+            DamagePattern::TextChange => "text-change",
+            DamagePattern::Noise => "noise",
+        }
+    }
+
+    /// Produces the damaged pixels + rect for a panel of `size`.
+    pub fn generate(self, size: Size) -> (Rect, Vec<Color>) {
+        let mut ui = panel_ui(size);
+        ui.render();
+        match self {
+            DamagePattern::FullRepaint => {
+                let rect = ui.framebuffer().bounds();
+                let (_, px) = ui.framebuffer().read_rect(rect);
+                (rect, px)
+            }
+            DamagePattern::SliderDrag => {
+                let rect = Rect::new(
+                    8,
+                    (size.h as i32 / 2).max(0),
+                    size.w.saturating_sub(16).max(8),
+                    16,
+                )
+                .intersect(ui.framebuffer().bounds())
+                .unwrap_or(Rect::new(0, 0, 8, 8));
+                let (r, px) = ui.framebuffer().read_rect(rect);
+                (r, px)
+            }
+            DamagePattern::TextChange => {
+                let rect = Rect::new(10, 4, 120.min(size.w - 10), 12)
+                    .intersect(ui.framebuffer().bounds())
+                    .unwrap_or(Rect::new(0, 0, 8, 8));
+                let (r, px) = ui.framebuffer().read_rect(rect);
+                (r, px)
+            }
+            DamagePattern::Noise => {
+                let rect = Rect::new(0, 0, size.w.min(160), size.h.min(120));
+                let px = (0..rect.area())
+                    .map(|i| {
+                        Color::rgb(
+                            (i * 37 % 251) as u8,
+                            (i * 83 % 241) as u8,
+                            (i * 61 % 239) as u8,
+                        )
+                    })
+                    .collect();
+                (rect, px)
+            }
+        }
+    }
+}
+
+/// A rendered, realistic control panel of the given size (widgets laid
+/// out like the real app but without a HAVi network behind them).
+pub fn panel_ui(size: Size) -> Ui {
+    use uniint_wsys::prelude::*;
+    let mut ui = Ui::new(size.w, size.h, Theme::classic(), "bench-panel");
+    let rows_n = (size.h / 36).max(1);
+    for r in 0..rows_n {
+        let y = (r * 36 + 4) as i32;
+        if y + 30 > size.h as i32 {
+            break;
+        }
+        ui.add(
+            Label::new(format!("Appliance {r}")),
+            Rect::new(4, y, 90.min(size.w - 8), 12),
+        );
+        match r % 3 {
+            0 => {
+                ui.add(
+                    Toggle::new("Power", r % 2 == 0),
+                    Rect::new(4, y + 13, 56, 18),
+                );
+                ui.add(Button::new("Ch+"), Rect::new(66, y + 13, 40, 18));
+            }
+            1 => {
+                ui.add(
+                    Slider::new(0, 100, (r * 17 % 100) as i32, 5),
+                    Rect::new(4, y + 13, (size.w - 12).min(140), 16),
+                );
+            }
+            _ => {
+                ui.add(
+                    ProgressBar::new(0, 100, (r * 29 % 100) as i32),
+                    Rect::new(4, y + 13, (size.w - 12).min(120), 12),
+                );
+            }
+        }
+    }
+    ui.render();
+    ui
+}
+
+/// The screen sizes E2 sweeps: phone LCD, PDA, panel/TV.
+pub const E2_SIZES: [Size; 3] = [
+    Size::new(128, 128),
+    Size::new(240, 320),
+    Size::new(640, 480),
+];
+
+/// Finds the first power toggle's center, in server coordinates.
+pub fn power_center(app: &ControlPanelApp) -> (u16, u16) {
+    use uniint_wsys::prelude::Toggle;
+    let rect = app
+        .ui()
+        .widget_ids()
+        .into_iter()
+        .find_map(|id| {
+            app.ui().widget::<Toggle>(id)?;
+            app.ui().widget_rect(id)
+        })
+        .expect("panel has a power toggle");
+    let c = rect.center();
+    (c.x as u16, c.y as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_with_counts() {
+        let net = home_with(7);
+        assert_eq!(net.device_guids().len(), 7);
+    }
+
+    #[test]
+    fn damage_patterns_generate_consistent_sizes() {
+        for p in DamagePattern::ALL {
+            for size in E2_SIZES {
+                let (rect, px) = p.generate(size);
+                assert_eq!(px.len() as u64, rect.area(), "{} {}", p.name(), size);
+                assert!(!rect.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn standard_scene_connects() {
+        let (_net, app, session) = standard_scene();
+        assert!(session.proxy.is_connected());
+        assert_eq!(app.section_count(), 4);
+    }
+
+    #[test]
+    fn power_center_is_clickable() {
+        let (mut net, mut app, _s) = standard_scene();
+        let (x, y) = power_center(&app);
+        for ev in uniint_protocol::input::InputEvent::click(x, y) {
+            app.ui_mut().dispatch(ev);
+        }
+        let report = app.process(&mut net);
+        assert_eq!(report.commands_sent, 1);
+    }
+}

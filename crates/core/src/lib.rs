@@ -1,0 +1,52 @@
+//! # uniint-core
+//!
+//! The paper's primary contribution: **universal interaction** for
+//! networked home appliances (Nakajima & Hasegawa, ICDCS 2002).
+//!
+//! Universal interaction fixes a tiny, device-independent vocabulary —
+//! bitmap images out, keyboard/mouse events in — and places a proxy
+//! between appliance GUIs and whatever interaction devices the user
+//! currently prefers:
+//!
+//! - [`server::UniIntServer`] exports an unmodified toolkit window
+//!   (crate `uniint-wsys`) over the universal interaction protocol
+//!   (crate `uniint-protocol`);
+//! - [`proxy::UniIntProxy`] replaces the thin-client viewer: it hosts the
+//!   per-device **plug-in modules** ([`plugin`]) that adapt bitmaps to
+//!   each output device and translate device events to universal input;
+//! - [`context`] models the user's situation and preferences, and
+//!   [`coordinator::Coordinator`] switches plug-ins dynamically as the
+//!   situation changes — cooking selects voice, the sofa selects the
+//!   remote and the TV;
+//! - [`session`] wires the pieces end-to-end, in memory or across the
+//!   network simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod coordinator;
+pub mod multi;
+pub mod plugin;
+pub mod proxy;
+pub mod sensors;
+pub mod server;
+pub mod session;
+
+/// Convenient re-exports of the core surface.
+pub mod prelude {
+    pub use crate::context::{
+        Activity, DeviceDescriptor, InputModality, Noise, OutputProfile, SelectionPolicy,
+        Situation, UserProfile,
+    };
+    pub use crate::coordinator::{Coordinator, InteractionDevice, SwitchReport};
+    pub use crate::multi::{ClientId, MultiServer};
+    pub use crate::plugin::{
+        DeviceEvent, DeviceFrame, Gesture, InputContext, InputPlugin, Nav, OutputCaps,
+        OutputPlugin, RemoteKey,
+    };
+    pub use crate::proxy::{ProxyOutput, ProxyStats, UniIntProxy};
+    pub use crate::sensors::{SensorReading, SituationTracker};
+    pub use crate::server::{ServerStats, UniIntServer};
+    pub use crate::session::{LocalSession, SimSession};
+}

@@ -1,0 +1,631 @@
+//! The UniInt proxy — the paper's central component.
+//!
+//! The proxy replaces a thin-client *viewer*: it reconstructs the server's
+//! framebuffer from protocol updates, hands frames to the currently
+//! selected **output plug-in** for device-specific adaptation (scale,
+//! quantize, dither), and pushes events from the currently selected
+//! **input plug-in** to the server as universal keyboard/mouse events.
+//! Both plug-ins can be swapped at any moment — that is the paper's
+//! "dynamic change of interaction devices according to the user's
+//! situation".
+
+use crate::plugin::{DeviceEvent, DeviceFrame, InputContext, InputPlugin, OutputPlugin};
+use uniint_protocol::encoding::{decode_rect, DecodedRect, Encoding};
+use uniint_protocol::error::ProtocolError;
+use uniint_protocol::message::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
+use uniint_raster::color::Color;
+use uniint_raster::framebuffer::Framebuffer;
+use uniint_raster::geom::{Rect, Size};
+use uniint_raster::pixel::PixelFormat;
+use uniint_raster::scale::scale_to_fit;
+
+/// Messages and frames produced by one proxy step.
+#[derive(Debug, Default)]
+pub struct ProxyOutput {
+    /// Protocol messages to forward to the UniInt server.
+    pub messages: Vec<ClientMessage>,
+    /// An adapted frame for the output device, when the display changed.
+    pub frame: Option<DeviceFrame>,
+    /// Whether the server rang the bell.
+    pub bell: bool,
+}
+
+/// Counters the benchmarks read from a proxy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Server update messages applied.
+    pub updates_applied: u64,
+    /// Rectangles decoded.
+    pub rects_decoded: u64,
+    /// Frames adapted for the output device.
+    pub frames_adapted: u64,
+    /// Device events translated to universal events.
+    pub events_translated: u64,
+    /// Device events that produced no universal event.
+    pub events_dropped: u64,
+}
+
+/// The universal interaction proxy.
+///
+/// ```
+/// use uniint_core::proxy::UniIntProxy;
+/// let mut proxy = UniIntProxy::new("hallway-proxy");
+/// let hello = proxy.connect();
+/// assert_eq!(hello.len(), 1); // Hello message for the server
+/// ```
+#[derive(Debug)]
+pub struct UniIntProxy {
+    name: String,
+    fb: Option<Framebuffer>,
+    format: PixelFormat,
+    input_plugin: Option<Box<dyn InputPlugin>>,
+    output_plugin: Option<Box<dyn OutputPlugin>>,
+    connected: bool,
+    stats: ProxyStats,
+}
+
+impl UniIntProxy {
+    /// Creates a disconnected proxy.
+    pub fn new(name: impl Into<String>) -> UniIntProxy {
+        UniIntProxy {
+            name: name.into(),
+            fb: None,
+            format: PixelFormat::Rgb888,
+            input_plugin: None,
+            output_plugin: None,
+            connected: false,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Proxy name (sent in the protocol hello).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the session is established (Init received).
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+
+    /// The reconstructed server framebuffer, when connected.
+    pub fn server_frame(&self) -> Option<&Framebuffer> {
+        self.fb.as_ref()
+    }
+
+    /// Size of the server framebuffer, when known.
+    pub fn server_size(&self) -> Option<Size> {
+        self.fb.as_ref().map(|f| f.size())
+    }
+
+    /// The kinds of the currently attached plug-ins `(input, output)`.
+    pub fn attached(&self) -> (Option<&'static str>, Option<&'static str>) {
+        (
+            self.input_plugin.as_ref().map(|p| p.kind()),
+            self.output_plugin.as_ref().map(|p| p.kind()),
+        )
+    }
+
+    /// Opens the session: the initial Hello.
+    pub fn connect(&mut self) -> Vec<ClientMessage> {
+        vec![ClientMessage::Hello {
+            version: PROTOCOL_VERSION,
+            name: self.name.clone(),
+        }]
+    }
+
+    /// Installs (or replaces) the input plug-in. Takes effect immediately
+    /// — the paper's dynamic input-device switch.
+    pub fn attach_input(&mut self, plugin: Box<dyn InputPlugin>) {
+        self.input_plugin = Some(plugin);
+    }
+
+    /// Removes the input plug-in (device went away).
+    pub fn detach_input(&mut self) {
+        self.input_plugin = None;
+    }
+
+    /// Installs (or replaces) the output plug-in and renegotiates the
+    /// session for the new device: pixel format, encodings and a full
+    /// refresh. Returns the messages to send — the dynamic output switch.
+    pub fn attach_output(&mut self, plugin: Box<dyn OutputPlugin>) -> Vec<ClientMessage> {
+        let caps = plugin.caps();
+        self.output_plugin = Some(plugin);
+        // Transport in the device's own format: a mono LCD session should
+        // not ship 24-bit pixels over a phone link.
+        self.format = caps.format;
+        if !self.connected {
+            return Vec::new();
+        }
+        let bounds = self.fb.as_ref().map(|f| f.bounds()).unwrap_or(Rect::EMPTY);
+        vec![
+            ClientMessage::SetPixelFormat(self.format),
+            ClientMessage::SetEncodings(Encoding::ALL.to_vec()),
+            ClientMessage::UpdateRequest {
+                incremental: false,
+                rect: bounds,
+            },
+        ]
+    }
+
+    /// Removes the output plug-in.
+    pub fn detach_output(&mut self) {
+        self.output_plugin = None;
+    }
+
+    /// Handles one server message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolError`] from rectangle decoding; the caller
+    /// should tear the session down on error.
+    pub fn handle_server(&mut self, msg: &ServerMessage) -> Result<ProxyOutput, ProtocolError> {
+        let mut out = ProxyOutput::default();
+        match msg {
+            ServerMessage::Init { width, height, .. } => {
+                self.connected = true;
+                self.fb = Some(Framebuffer::new(
+                    (*width).max(1) as u32,
+                    (*height).max(1) as u32,
+                    Color::BLACK,
+                ));
+                out.messages
+                    .push(ClientMessage::SetPixelFormat(self.format));
+                out.messages
+                    .push(ClientMessage::SetEncodings(Encoding::ALL.to_vec()));
+                out.messages.push(ClientMessage::UpdateRequest {
+                    incremental: false,
+                    rect: Rect::new(0, 0, *width as u32, *height as u32),
+                });
+            }
+            ServerMessage::Update { format, rects } => {
+                let Some(fb) = &mut self.fb else {
+                    return Err(ProtocolError::Malformed("update before init".into()));
+                };
+                for ru in rects {
+                    let mut cursor: &[u8] = &ru.payload;
+                    match decode_rect(&mut cursor, ru.rect, ru.encoding, *format)? {
+                        DecodedRect::Pixels(px) => fb.write_rect(ru.rect, &px),
+                        DecodedRect::CopyFrom(src) => fb.copy_rect(
+                            Rect::new(src.x, src.y, ru.rect.w, ru.rect.h),
+                            ru.rect.origin(),
+                        ),
+                    }
+                    self.stats.rects_decoded += 1;
+                }
+                self.stats.updates_applied += 1;
+                out.frame = self.adapt_current();
+                // Continuous update loop, as thin-client viewers do.
+                out.messages.push(ClientMessage::UpdateRequest {
+                    incremental: true,
+                    rect: fb_bounds(&self.fb),
+                });
+            }
+            ServerMessage::Resize { width, height } => {
+                self.fb = Some(Framebuffer::new(
+                    (*width).max(1) as u32,
+                    (*height).max(1) as u32,
+                    Color::BLACK,
+                ));
+                out.messages.push(ClientMessage::UpdateRequest {
+                    incremental: false,
+                    rect: fb_bounds(&self.fb),
+                });
+            }
+            ServerMessage::Bell => out.bell = true,
+            ServerMessage::CutText(_) => {}
+        }
+        Ok(out)
+    }
+
+    /// Adapts the current framebuffer through the output plug-in (a forced
+    /// refresh of the output device).
+    pub fn adapt_current(&mut self) -> Option<DeviceFrame> {
+        let fb = self.fb.as_ref()?;
+        let plugin = self.output_plugin.as_mut()?;
+        self.stats.frames_adapted += 1;
+        Some(plugin.adapt(fb))
+    }
+
+    /// Recovery after a decode error: discards the (possibly corrupt)
+    /// framebuffer contents and asks the server for a complete refresh.
+    /// Callers should invoke this instead of tearing the session down
+    /// when [`handle_server`](Self::handle_server) fails on a transport
+    /// that is still alive.
+    pub fn recover(&mut self) -> Vec<ClientMessage> {
+        if !self.connected {
+            return Vec::new();
+        }
+        if let Some(fb) = &mut self.fb {
+            // Blank the cache so stale pixels cannot survive a corrupt
+            // update that was partially applied.
+            fb.clear(Color::BLACK);
+        }
+        vec![
+            ClientMessage::SetPixelFormat(self.format),
+            ClientMessage::SetEncodings(Encoding::ALL.to_vec()),
+            ClientMessage::UpdateRequest {
+                incremental: false,
+                rect: fb_bounds(&self.fb),
+            },
+        ]
+    }
+
+    /// Translates a device-native event via the input plug-in into
+    /// protocol messages for the server.
+    pub fn device_input(&mut self, ev: &DeviceEvent) -> Vec<ClientMessage> {
+        let Some(plugin) = self.input_plugin.as_mut() else {
+            self.stats.events_dropped += 1;
+            return Vec::new();
+        };
+        let server_size = self
+            .fb
+            .as_ref()
+            .map(|f| f.size())
+            .unwrap_or(Size::new(1, 1));
+        let device_view = match self.output_plugin.as_ref() {
+            Some(out) => {
+                let caps = out.caps();
+                // The image shown on the device is aspect-fit; stylus
+                // coordinates arrive in that fitted image's space.
+                fitted_view(server_size, caps.size)
+            }
+            None => server_size,
+        };
+        let ctx = InputContext {
+            server_size,
+            device_view,
+        };
+        let events = plugin.translate(ev, &ctx);
+        if events.is_empty() {
+            self.stats.events_dropped += 1;
+        } else {
+            self.stats.events_translated += events.len() as u64;
+        }
+        events.into_iter().map(ClientMessage::Input).collect()
+    }
+}
+
+fn fb_bounds(fb: &Option<Framebuffer>) -> Rect {
+    fb.as_ref().map(|f| f.bounds()).unwrap_or(Rect::EMPTY)
+}
+
+/// The size of `src` after aspect-preserving fit into `bounds`.
+pub fn fitted_view(src: Size, bounds: Size) -> Size {
+    if src.is_empty() || bounds.is_empty() {
+        return bounds;
+    }
+    // Mirror the math in `scale_to_fit` without doing the work.
+    let dummy = Framebuffer::new(src.w, src.h, Color::BLACK);
+    scale_to_fit(&dummy, bounds, uniint_raster::scale::ScaleFilter::Nearest).size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::OutputCaps;
+    use uniint_protocol::encoding::encode_rect;
+    use uniint_protocol::input::InputEvent;
+    use uniint_protocol::message::RectUpdate;
+    use uniint_raster::dither::DitherMode;
+    use uniint_raster::scale::ScaleFilter;
+
+    /// A minimal test output plug-in: quarter-size mono.
+    #[derive(Debug)]
+    struct TestOutput;
+
+    impl OutputPlugin for TestOutput {
+        fn kind(&self) -> &'static str {
+            "test-output"
+        }
+        fn caps(&self) -> OutputCaps {
+            OutputCaps {
+                size: Size::new(80, 60),
+                format: PixelFormat::Mono1,
+                dither: DitherMode::None,
+                scale: ScaleFilter::Nearest,
+            }
+        }
+        fn adapt(&mut self, server_frame: &Framebuffer) -> DeviceFrame {
+            let frame = scale_to_fit(server_frame, Size::new(80, 60), ScaleFilter::Nearest);
+            let wire_bytes = PixelFormat::Mono1.buffer_bytes(frame.width(), frame.height());
+            DeviceFrame::new(frame, PixelFormat::Mono1, wire_bytes)
+        }
+    }
+
+    /// A test input plug-in mapping chars to key taps.
+    #[derive(Debug)]
+    struct TestInput;
+
+    impl InputPlugin for TestInput {
+        fn kind(&self) -> &'static str {
+            "test-input"
+        }
+        fn translate(&mut self, ev: &DeviceEvent, ctx: &InputContext) -> Vec<InputEvent> {
+            match ev {
+                DeviceEvent::Char(c) => InputEvent::key_tap((*c).into()).to_vec(),
+                DeviceEvent::StylusDown { x, y } => {
+                    let (sx, sy) = ctx.to_server(*x, *y);
+                    vec![InputEvent::Pointer {
+                        x: sx,
+                        y: sy,
+                        buttons: uniint_protocol::input::ButtonMask::LEFT,
+                    }]
+                }
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    fn init_msg() -> ServerMessage {
+        ServerMessage::Init {
+            version: 1,
+            width: 160,
+            height: 120,
+            format: PixelFormat::Rgb888,
+            name: "t".into(),
+        }
+    }
+
+    fn update_for(rect: Rect, color: Color, format: PixelFormat) -> ServerMessage {
+        let px = vec![color; rect.area() as usize];
+        let payload = encode_rect(&px, rect, Encoding::Raw, format);
+        ServerMessage::Update {
+            format,
+            rects: vec![RectUpdate {
+                rect,
+                encoding: Encoding::Raw,
+                payload,
+            }],
+        }
+    }
+
+    #[test]
+    fn init_triggers_negotiation_and_full_request() {
+        let mut p = UniIntProxy::new("p");
+        let out = p.handle_server(&init_msg()).unwrap();
+        assert!(p.is_connected());
+        assert_eq!(out.messages.len(), 3);
+        assert!(matches!(out.messages[0], ClientMessage::SetPixelFormat(_)));
+        assert!(matches!(
+            out.messages[2],
+            ClientMessage::UpdateRequest {
+                incremental: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn updates_rebuild_framebuffer() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        let msg = update_for(Rect::new(0, 0, 160, 120), Color::WHITE, PixelFormat::Rgb888);
+        let out = p.handle_server(&msg).unwrap();
+        let fb = p.server_frame().unwrap();
+        assert!(fb.pixels().iter().all(|&c| c == Color::WHITE));
+        // Continuous loop: proxy immediately asks for more.
+        assert!(matches!(
+            out.messages.last(),
+            Some(ClientMessage::UpdateRequest {
+                incremental: true,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn update_before_init_is_error() {
+        let mut p = UniIntProxy::new("p");
+        let msg = update_for(Rect::new(0, 0, 4, 4), Color::WHITE, PixelFormat::Rgb888);
+        assert!(p.handle_server(&msg).is_err());
+    }
+
+    #[test]
+    fn output_plugin_gets_adapted_frames() {
+        let mut p = UniIntProxy::new("p");
+        p.attach_output(Box::new(TestOutput));
+        p.handle_server(&init_msg()).unwrap();
+        let msg = update_for(Rect::new(0, 0, 160, 120), Color::WHITE, PixelFormat::Mono1);
+        let out = p.handle_server(&msg).unwrap();
+        let frame = out.frame.expect("adapted frame");
+        assert_eq!(frame.frame.size(), Size::new(80, 60));
+        assert_eq!(frame.format, PixelFormat::Mono1);
+        assert_eq!(p.stats().frames_adapted, 1);
+    }
+
+    #[test]
+    fn attach_output_renegotiates_format() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        let msgs = p.attach_output(Box::new(TestOutput));
+        assert!(msgs.contains(&ClientMessage::SetPixelFormat(PixelFormat::Mono1)));
+        assert!(matches!(
+            msgs.last(),
+            Some(ClientMessage::UpdateRequest {
+                incremental: false,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn attach_output_before_connect_sends_nothing() {
+        let mut p = UniIntProxy::new("p");
+        let msgs = p.attach_output(Box::new(TestOutput));
+        assert!(msgs.is_empty());
+    }
+
+    #[test]
+    fn input_plugin_translates() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        p.attach_input(Box::new(TestInput));
+        let msgs = p.device_input(&DeviceEvent::Char('a'));
+        assert_eq!(msgs.len(), 2, "press + release");
+        assert_eq!(p.stats().events_translated, 2);
+    }
+
+    #[test]
+    fn stylus_coordinates_mapped_to_server_space() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        p.attach_input(Box::new(TestInput));
+        p.attach_output(Box::new(TestOutput));
+        // Device view is 80x60 (same aspect); tapping its center must land
+        // at the server center.
+        let msgs = p.device_input(&DeviceEvent::StylusDown { x: 40, y: 30 });
+        match msgs[0] {
+            ClientMessage::Input(InputEvent::Pointer { x, y, .. }) => {
+                assert_eq!((x, y), (80, 60));
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_input_plugin_drops_events() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        assert!(p.device_input(&DeviceEvent::Char('x')).is_empty());
+        assert_eq!(p.stats().events_dropped, 1);
+    }
+
+    #[test]
+    fn unrecognized_event_counts_dropped() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        p.attach_input(Box::new(TestInput));
+        assert!(p.device_input(&DeviceEvent::KeypadSelect).is_empty());
+        assert_eq!(p.stats().events_dropped, 1);
+    }
+
+    #[test]
+    fn resize_reallocates_and_requests_full() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        let out = p
+            .handle_server(&ServerMessage::Resize {
+                width: 320,
+                height: 240,
+            })
+            .unwrap();
+        assert_eq!(p.server_size(), Some(Size::new(320, 240)));
+        assert!(matches!(
+            out.messages[0],
+            ClientMessage::UpdateRequest {
+                incremental: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bell_passes_through() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        let out = p.handle_server(&ServerMessage::Bell).unwrap();
+        assert!(out.bell);
+    }
+
+    #[test]
+    fn copyrect_applies_against_cache() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        // Paint left half white.
+        let msg = update_for(Rect::new(0, 0, 80, 120), Color::WHITE, PixelFormat::Rgb888);
+        p.handle_server(&msg).unwrap();
+        // CopyRect the left half onto the right half.
+        let cr = ServerMessage::Update {
+            format: PixelFormat::Rgb888,
+            rects: vec![RectUpdate {
+                rect: Rect::new(80, 0, 80, 120),
+                encoding: Encoding::CopyRect,
+                payload: uniint_protocol::encoding::encode_copy_rect(
+                    uniint_raster::geom::Point::new(0, 0),
+                ),
+            }],
+        };
+        p.handle_server(&cr).unwrap();
+        let fb = p.server_frame().unwrap();
+        assert_eq!(
+            fb.pixel(uniint_raster::geom::Point::new(159, 60)),
+            Some(Color::WHITE)
+        );
+    }
+
+    #[test]
+    fn attached_reports_kinds() {
+        let mut p = UniIntProxy::new("p");
+        assert_eq!(p.attached(), (None, None));
+        p.attach_input(Box::new(TestInput));
+        p.attach_output(Box::new(TestOutput));
+        assert_eq!(p.attached(), (Some("test-input"), Some("test-output")));
+        p.detach_input();
+        p.detach_output();
+        assert_eq!(p.attached(), (None, None));
+    }
+
+    #[test]
+    fn fitted_view_math() {
+        assert_eq!(
+            fitted_view(Size::new(640, 480), Size::new(160, 160)),
+            Size::new(160, 120)
+        );
+        assert_eq!(
+            fitted_view(Size::new(100, 100), Size::new(50, 25)),
+            Size::new(25, 25)
+        );
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use uniint_protocol::message::RectUpdate;
+
+    #[test]
+    fn recover_before_connect_is_empty() {
+        let mut p = UniIntProxy::new("p");
+        assert!(p.recover().is_empty());
+    }
+
+    #[test]
+    fn recover_requests_full_refresh_after_corrupt_update() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&ServerMessage::Init {
+            version: 1,
+            width: 64,
+            height: 48,
+            format: PixelFormat::Rgb888,
+            name: "x".into(),
+        })
+        .unwrap();
+        // A corrupt update: truncated raw payload.
+        let bad = ServerMessage::Update {
+            format: PixelFormat::Rgb888,
+            rects: vec![RectUpdate {
+                rect: Rect::new(0, 0, 64, 48),
+                encoding: Encoding::Raw,
+                payload: vec![1, 2, 3],
+            }],
+        };
+        assert!(p.handle_server(&bad).is_err());
+        let msgs = p.recover();
+        assert_eq!(msgs.len(), 3);
+        assert!(matches!(
+            msgs[2],
+            ClientMessage::UpdateRequest {
+                incremental: false,
+                ..
+            }
+        ));
+        // The session keeps working afterwards.
+        assert!(p.is_connected());
+    }
+}

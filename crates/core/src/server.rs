@@ -1,0 +1,421 @@
+//! The UniInt server: exports a window as universal-interaction bitmap
+//! updates and injects universal input events into it.
+//!
+//! The paper stresses that *existing thin-client servers are used
+//! unmodified*; accordingly this server knows nothing about interaction
+//! devices. It speaks only the universal protocol: damage-driven
+//! framebuffer updates out, keyboard/pointer events in.
+
+use uniint_protocol::encoding::{choose_encoding, encode_rect, Encoding};
+use uniint_protocol::message::{ClientMessage, RectUpdate, ServerMessage, PROTOCOL_VERSION};
+use uniint_raster::geom::Rect;
+use uniint_raster::pixel::PixelFormat;
+use uniint_raster::region::Region;
+use uniint_wsys::ui::Ui;
+
+/// Per-client protocol state.
+#[derive(Debug)]
+struct ClientState {
+    format: PixelFormat,
+    encodings: Vec<Encoding>,
+    /// Pending update request: `(incremental, rect)`.
+    pending: Option<(bool, Rect)>,
+    /// Damage accumulated since the client's last update.
+    damage: Region,
+}
+
+/// Statistics the benchmarks read from a server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Update messages sent.
+    pub updates_sent: u64,
+    /// Rectangles sent across all updates.
+    pub rects_sent: u64,
+    /// Total payload bytes across all rectangles.
+    pub payload_bytes: u64,
+    /// Input events injected into the window system.
+    pub inputs_injected: u64,
+}
+
+/// The UniInt server endpoint for one window.
+///
+/// The server does not own the [`Ui`] — the appliance application does —
+/// so every call that touches the window takes `&mut Ui`.
+#[derive(Debug)]
+pub struct UniIntServer {
+    client: Option<ClientState>,
+    size: (u16, u16),
+    stats: ServerStats,
+}
+
+impl UniIntServer {
+    /// Creates a server for a window of the given size.
+    pub fn new(ui: &Ui) -> UniIntServer {
+        UniIntServer {
+            client: None,
+            size: (ui.size().w as u16, ui.size().h as u16),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Whether a client session is established.
+    pub fn has_client(&self) -> bool {
+        self.client.is_some()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Handles one client message, possibly producing replies.
+    pub fn handle_message(&mut self, ui: &mut Ui, msg: ClientMessage) -> Vec<ServerMessage> {
+        match msg {
+            ClientMessage::Hello { version, name: _ } => {
+                let version = version.min(PROTOCOL_VERSION);
+                self.client = Some(ClientState {
+                    format: PixelFormat::Rgb888,
+                    encodings: vec![Encoding::Raw],
+                    pending: None,
+                    // A new session owes the client the whole screen.
+                    damage: Region::from_rect(ui.framebuffer().bounds()),
+                });
+                vec![ServerMessage::Init {
+                    version,
+                    width: self.size.0,
+                    height: self.size.1,
+                    format: PixelFormat::Rgb888,
+                    name: ui.title().to_owned(),
+                }]
+            }
+            ClientMessage::SetPixelFormat(format) => {
+                if let Some(c) = &mut self.client {
+                    c.format = format;
+                    // Everything must be resent in the new format.
+                    c.damage = Region::from_rect(ui.framebuffer().bounds());
+                }
+                Vec::new()
+            }
+            ClientMessage::SetEncodings(encs) => {
+                if let Some(c) = &mut self.client {
+                    c.encodings = if encs.is_empty() {
+                        vec![Encoding::Raw]
+                    } else {
+                        encs
+                    };
+                }
+                Vec::new()
+            }
+            ClientMessage::UpdateRequest { incremental, rect } => {
+                if let Some(c) = &mut self.client {
+                    if !incremental {
+                        c.damage.add(
+                            rect.intersect(ui.framebuffer().bounds())
+                                .unwrap_or(Rect::EMPTY),
+                        );
+                    }
+                    c.pending = Some((incremental, rect));
+                }
+                self.pump(ui)
+            }
+            ClientMessage::Input(ev) => {
+                self.stats.inputs_injected += 1;
+                ui.dispatch(ev);
+                // Input often causes repaints; let the caller pump.
+                Vec::new()
+            }
+            ClientMessage::CutText(_) => Vec::new(),
+        }
+    }
+
+    /// Renders the window, folds new damage into the client's account and
+    /// answers any pending update request. Also surfaces the bell.
+    pub fn pump(&mut self, ui: &mut Ui) -> Vec<ServerMessage> {
+        ui.render();
+        let mut out = Vec::new();
+        if ui.take_bell() {
+            out.push(ServerMessage::Bell);
+        }
+        let new_damage = ui.framebuffer_mut().take_damage();
+        self.add_damage(&new_damage);
+        out.extend(self.answer_pending(ui));
+        out
+    }
+
+    /// Folds externally drained damage into this client's account. Used
+    /// by [`crate::multi::MultiServer`], which drains the framebuffer
+    /// once and distributes the region to every connected client.
+    pub fn add_damage(&mut self, damage: &Region) {
+        if let Some(c) = &mut self.client {
+            c.damage.union_with(damage);
+        }
+    }
+
+    /// Answers the client's pending update request from the already
+    /// rendered framebuffer, without draining new damage.
+    pub fn answer_pending(&mut self, ui: &Ui) -> Vec<ServerMessage> {
+        let mut out = Vec::new();
+        let Some(c) = &mut self.client else {
+            return out;
+        };
+        let Some((_incremental, rect)) = c.pending else {
+            return out;
+        };
+        // Only the area the client asked about.
+        let mut to_send = c.damage.clone();
+        to_send.intersect_rect(rect);
+        if to_send.is_empty() {
+            return out;
+        }
+        for r in to_send.rects() {
+            c.damage.subtract(*r);
+        }
+        c.pending = None;
+        let fb = ui.framebuffer();
+        let mut rects = Vec::with_capacity(to_send.rect_count());
+        for &r in to_send.rects() {
+            let (clipped, pixels) = fb.read_rect(r);
+            if clipped.is_empty() {
+                continue;
+            }
+            let encoding = choose_encoding(&pixels, clipped, &c.encodings);
+            let payload = encode_rect(&pixels, clipped, encoding, c.format);
+            self.stats.rects_sent += 1;
+            self.stats.payload_bytes += payload.len() as u64;
+            rects.push(RectUpdate {
+                rect: clipped,
+                encoding,
+                payload,
+            });
+        }
+        if !rects.is_empty() {
+            self.stats.updates_sent += 1;
+            out.push(ServerMessage::Update {
+                format: c.format,
+                rects,
+            });
+        }
+        out
+    }
+
+    /// Notifies the client that the window was recomposed to a new size.
+    pub fn notify_resize(&mut self, ui: &mut Ui) -> Vec<ServerMessage> {
+        self.size = (ui.size().w as u16, ui.size().h as u16);
+        if let Some(c) = &mut self.client {
+            c.damage = Region::from_rect(ui.framebuffer().bounds());
+            vec![ServerMessage::Resize {
+                width: self.size.0,
+                height: self.size.1,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniint_protocol::input::InputEvent;
+    use uniint_wsys::prelude::*;
+
+    fn session() -> (Ui, UniIntServer) {
+        let mut ui = Ui::new(160, 120, Theme::classic(), "test-panel");
+        ui.add(Button::new("Power"), Rect::new(10, 10, 60, 20));
+        let server = UniIntServer::new(&ui);
+        (ui, server)
+    }
+
+    fn connect(ui: &mut Ui, server: &mut UniIntServer) {
+        let replies = server.handle_message(
+            ui,
+            ClientMessage::Hello {
+                version: 1,
+                name: "t".into(),
+            },
+        );
+        assert!(matches!(
+            replies[0],
+            ServerMessage::Init {
+                width: 160,
+                height: 120,
+                ..
+            }
+        ));
+        server.handle_message(ui, ClientMessage::SetEncodings(Encoding::ALL.to_vec()));
+    }
+
+    #[test]
+    fn hello_yields_init() {
+        let (mut ui, mut server) = session();
+        assert!(!server.has_client());
+        connect(&mut ui, &mut server);
+        assert!(server.has_client());
+    }
+
+    #[test]
+    fn full_update_covers_screen() {
+        let (mut ui, mut server) = session();
+        connect(&mut ui, &mut server);
+        let replies = server.handle_message(
+            &mut ui,
+            ClientMessage::UpdateRequest {
+                incremental: false,
+                rect: Rect::new(0, 0, 160, 120),
+            },
+        );
+        let ServerMessage::Update { rects, .. } = &replies[0] else {
+            panic!("expected update, got {replies:?}");
+        };
+        let covered: u64 = rects.iter().map(|r| r.rect.area()).sum();
+        assert_eq!(covered, 160 * 120);
+    }
+
+    #[test]
+    fn incremental_update_waits_for_damage() {
+        let (mut ui, mut server) = session();
+        connect(&mut ui, &mut server);
+        // Drain the initial full screen.
+        server.handle_message(
+            &mut ui,
+            ClientMessage::UpdateRequest {
+                incremental: false,
+                rect: Rect::new(0, 0, 160, 120),
+            },
+        );
+        // Incremental request with no damage: no reply yet.
+        let replies = server.handle_message(
+            &mut ui,
+            ClientMessage::UpdateRequest {
+                incremental: true,
+                rect: Rect::new(0, 0, 160, 120),
+            },
+        );
+        assert!(replies.is_empty());
+        // An input event presses the button, causing damage.
+        server.handle_message(
+            &mut ui,
+            ClientMessage::Input(InputEvent::Pointer {
+                x: 20,
+                y: 20,
+                buttons: uniint_protocol::input::ButtonMask::LEFT,
+            }),
+        );
+        let replies = server.pump(&mut ui);
+        let ServerMessage::Update { rects, .. } = &replies[0] else {
+            panic!("expected update after damage");
+        };
+        assert!(!rects.is_empty());
+        // Damaged area is just the button, not the whole screen.
+        let covered: u64 = rects.iter().map(|r| r.rect.area()).sum();
+        assert!(
+            covered < 160 * 120 / 2,
+            "incremental should be small: {covered}"
+        );
+    }
+
+    #[test]
+    fn update_respects_requested_rect() {
+        let (mut ui, mut server) = session();
+        connect(&mut ui, &mut server);
+        let replies = server.handle_message(
+            &mut ui,
+            ClientMessage::UpdateRequest {
+                incremental: false,
+                rect: Rect::new(0, 0, 50, 50),
+            },
+        );
+        let ServerMessage::Update { rects, .. } = &replies[0] else {
+            panic!()
+        };
+        for r in rects {
+            assert!(Rect::new(0, 0, 50, 50).contains_rect(r.rect));
+        }
+    }
+
+    #[test]
+    fn set_pixel_format_resends_everything() {
+        let (mut ui, mut server) = session();
+        connect(&mut ui, &mut server);
+        server.handle_message(
+            &mut ui,
+            ClientMessage::UpdateRequest {
+                incremental: false,
+                rect: Rect::new(0, 0, 160, 120),
+            },
+        );
+        server.handle_message(&mut ui, ClientMessage::SetPixelFormat(PixelFormat::Mono1));
+        let replies = server.handle_message(
+            &mut ui,
+            ClientMessage::UpdateRequest {
+                incremental: true,
+                rect: Rect::new(0, 0, 160, 120),
+            },
+        );
+        let ServerMessage::Update { format, rects } = &replies[0] else {
+            panic!("format change must resend");
+        };
+        assert_eq!(*format, PixelFormat::Mono1);
+        let covered: u64 = rects.iter().map(|r| r.rect.area()).sum();
+        assert_eq!(covered, 160 * 120);
+    }
+
+    #[test]
+    fn input_reaches_widgets() {
+        let (mut ui, mut server) = session();
+        connect(&mut ui, &mut server);
+        for ev in InputEvent::click(20, 20) {
+            server.handle_message(&mut ui, ClientMessage::Input(ev));
+        }
+        let actions = ui.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(server.stats().inputs_injected, 2);
+    }
+
+    #[test]
+    fn bell_is_forwarded() {
+        let (mut ui, mut server) = session();
+        connect(&mut ui, &mut server);
+        ui.ring_bell();
+        let replies = server.pump(&mut ui);
+        assert!(replies.contains(&ServerMessage::Bell));
+    }
+
+    #[test]
+    fn resize_notification() {
+        let (mut ui, mut server) = session();
+        connect(&mut ui, &mut server);
+        ui.resize(320, 240);
+        let replies = server.notify_resize(&mut ui);
+        assert_eq!(
+            replies,
+            vec![ServerMessage::Resize {
+                width: 320,
+                height: 240
+            }]
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut ui, mut server) = session();
+        connect(&mut ui, &mut server);
+        server.handle_message(
+            &mut ui,
+            ClientMessage::UpdateRequest {
+                incremental: false,
+                rect: Rect::new(0, 0, 160, 120),
+            },
+        );
+        let s = server.stats();
+        assert_eq!(s.updates_sent, 1);
+        assert!(s.rects_sent >= 1);
+        assert!(s.payload_bytes > 0);
+    }
+
+    #[test]
+    fn no_client_pump_is_quiet() {
+        let (mut ui, mut server) = session();
+        assert!(server.pump(&mut ui).is_empty());
+    }
+}

@@ -1,0 +1,405 @@
+//! End-to-end sessions wiring application window, UniInt server and
+//! UniInt proxy together — in memory ([`LocalSession`]) or across the
+//! network simulator ([`SimSession`]).
+
+use crate::plugin::{DeviceEvent, DeviceFrame};
+use crate::proxy::UniIntProxy;
+use crate::server::UniIntServer;
+use uniint_netsim::link::LinkProfile;
+use uniint_netsim::sim::{Endpoint, Simulator};
+use uniint_protocol::error::ProtocolError;
+use uniint_protocol::message::{
+    encode_client, encode_server, ClientMessage, FrameReader, ServerMessage,
+};
+use uniint_wsys::ui::Ui;
+
+/// A complete session with a zero-latency in-process "wire".
+///
+/// The appliance application owns the [`Ui`]; the session owns server and
+/// proxy and shuttles messages between them until quiescence after every
+/// stimulus. This is the workhorse of tests, examples and benchmarks.
+#[derive(Debug)]
+pub struct LocalSession {
+    /// The UniInt server endpoint.
+    pub server: UniIntServer,
+    /// The UniInt proxy endpoint.
+    pub proxy: UniIntProxy,
+    last_frame: Option<DeviceFrame>,
+    bells: u32,
+}
+
+impl LocalSession {
+    /// Connects a new session against `ui` (handshake completes before
+    /// returning).
+    pub fn connect(ui: &mut Ui) -> LocalSession {
+        let mut s = LocalSession {
+            server: UniIntServer::new(ui),
+            proxy: UniIntProxy::new("local-proxy"),
+            last_frame: None,
+            bells: 0,
+        };
+        let hello = s.proxy.connect();
+        s.deliver_to_server(ui, hello);
+        s
+    }
+
+    /// The most recent frame adapted for the output device.
+    pub fn last_frame(&self) -> Option<&DeviceFrame> {
+        self.last_frame.as_ref()
+    }
+
+    /// Takes the most recent adapted frame.
+    pub fn take_frame(&mut self) -> Option<DeviceFrame> {
+        self.last_frame.take()
+    }
+
+    /// Bell count so far.
+    pub fn bells(&self) -> u32 {
+        self.bells
+    }
+
+    /// Feeds a device-native input event through the proxy to the server
+    /// and pumps until quiescent. Widget actions land in `ui`.
+    pub fn device_input(&mut self, ui: &mut Ui, ev: &DeviceEvent) {
+        let msgs = self.proxy.device_input(ev);
+        self.deliver_to_server(ui, msgs);
+        self.pump(ui);
+    }
+
+    /// Renders pending UI changes and flushes updates to the proxy.
+    /// Call after the application mutates widgets programmatically.
+    pub fn pump(&mut self, ui: &mut Ui) {
+        let msgs = self.server.pump(ui);
+        self.deliver_to_proxy(ui, msgs);
+    }
+
+    /// Announces a window resize (panel recomposition) to the proxy.
+    pub fn notify_resize(&mut self, ui: &mut Ui) {
+        let msgs = self.server.notify_resize(ui);
+        self.deliver_to_proxy(ui, msgs);
+    }
+
+    /// Delivers client messages to the server, then pumps replies back.
+    pub fn deliver_to_server(&mut self, ui: &mut Ui, msgs: Vec<ClientMessage>) {
+        let mut replies = Vec::new();
+        for m in msgs {
+            replies.extend(self.server.handle_message(ui, m));
+        }
+        // Input may have produced repaints worth flushing now.
+        replies.extend(self.server.pump(ui));
+        self.deliver_to_proxy(ui, replies);
+    }
+
+    fn deliver_to_proxy(&mut self, ui: &mut Ui, msgs: Vec<ServerMessage>) {
+        let mut to_server = Vec::new();
+        for m in msgs {
+            let out = self
+                .proxy
+                .handle_server(&m)
+                .expect("local wire never corrupts messages");
+            if let Some(f) = out.frame {
+                self.last_frame = Some(f);
+            }
+            if out.bell {
+                self.bells += 1;
+            }
+            to_server.extend(out.messages);
+        }
+        if !to_server.is_empty() {
+            let mut replies = Vec::new();
+            for m in to_server {
+                replies.extend(self.server.handle_message(ui, m));
+            }
+            if !replies.is_empty() {
+                self.deliver_to_proxy(ui, replies);
+            }
+        }
+    }
+}
+
+/// A session whose server↔proxy wire crosses the discrete-event network
+/// simulator, with full protocol serialization. Used to measure update
+/// rates over realistic home links (wired/WLAN/Bluetooth/cellular).
+#[derive(Debug)]
+pub struct SimSession {
+    /// The UniInt server endpoint.
+    pub server: UniIntServer,
+    /// The UniInt proxy endpoint.
+    pub proxy: UniIntProxy,
+    /// The virtual network.
+    pub sim: Simulator,
+    server_ep: Endpoint,
+    proxy_ep: Endpoint,
+    server_rx: FrameReader,
+    proxy_rx: FrameReader,
+    last_frame: Option<DeviceFrame>,
+    frames_delivered: u64,
+}
+
+impl SimSession {
+    /// Creates a session over `link`, completing the handshake (the
+    /// virtual clock advances accordingly).
+    pub fn connect(ui: &mut Ui, link: LinkProfile, seed: u64) -> Result<SimSession, ProtocolError> {
+        let mut sim = Simulator::new(seed);
+        let (proxy_ep, server_ep) = sim.link(link);
+        let mut s = SimSession {
+            server: UniIntServer::new(ui),
+            proxy: UniIntProxy::new("sim-proxy"),
+            sim,
+            server_ep,
+            proxy_ep,
+            server_rx: FrameReader::new(),
+            proxy_rx: FrameReader::new(),
+            last_frame: None,
+            frames_delivered: 0,
+        };
+        for m in s.proxy.connect() {
+            s.sim.send(s.proxy_ep, encode_client(&m));
+        }
+        s.settle(ui)?;
+        Ok(s)
+    }
+
+    /// Virtual time, microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.sim.now_us()
+    }
+
+    /// Frames delivered to the output device so far.
+    pub fn frames_delivered(&self) -> u64 {
+        self.frames_delivered
+    }
+
+    /// The most recent adapted frame.
+    pub fn last_frame(&self) -> Option<&DeviceFrame> {
+        self.last_frame.as_ref()
+    }
+
+    /// Total bytes the server sent over the wire.
+    pub fn server_wire_bytes(&self) -> u64 {
+        self.sim.bytes_sent(self.server_ep)
+    }
+
+    /// Injects a device event at the proxy side and advances the network
+    /// until idle.
+    pub fn device_input(&mut self, ui: &mut Ui, ev: &DeviceEvent) -> Result<(), ProtocolError> {
+        for m in self.proxy.device_input(ev) {
+            self.sim.send(self.proxy_ep, encode_client(&m));
+        }
+        self.settle(ui)
+    }
+
+    /// Sends proxy-originated protocol messages (e.g. the renegotiation
+    /// produced by an output plug-in switch) across the simulated wire
+    /// and settles.
+    pub fn send_client(
+        &mut self,
+        ui: &mut Ui,
+        msgs: Vec<ClientMessage>,
+    ) -> Result<(), ProtocolError> {
+        for m in msgs {
+            self.sim.send(self.proxy_ep, encode_client(&m));
+        }
+        self.settle(ui)
+    }
+
+    /// Flushes application-side UI changes into the network and runs it
+    /// until idle.
+    pub fn settle(&mut self, ui: &mut Ui) -> Result<(), ProtocolError> {
+        loop {
+            // Drain server-side application damage first.
+            for m in self.server.pump(ui) {
+                self.sim.send(self.server_ep, encode_server(&m));
+            }
+            if self.sim.step().is_none() {
+                break;
+            }
+            // Deliver everything that has arrived by now at both ends.
+            while let Some(bytes) = self.sim.recv(self.server_ep) {
+                self.server_rx.feed(&bytes);
+            }
+            while let Some(frame) = self.server_rx.next_frame()? {
+                let msg = ClientMessage::decode_body(&mut frame.as_slice())?;
+                for reply in self.server.handle_message(ui, msg) {
+                    self.sim.send(self.server_ep, encode_server(&reply));
+                }
+            }
+            while let Some(bytes) = self.sim.recv(self.proxy_ep) {
+                self.proxy_rx.feed(&bytes);
+            }
+            while let Some(frame) = self.proxy_rx.next_frame()? {
+                let msg = ServerMessage::decode_body(&mut frame.as_slice())?;
+                let out = self.proxy.handle_server(&msg)?;
+                if let Some(f) = out.frame {
+                    self.last_frame = Some(f);
+                    self.frames_delivered += 1;
+                }
+                for m in out.messages {
+                    self.sim.send(self.proxy_ep, encode_client(&m));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::{InputContext, InputPlugin, OutputCaps, OutputPlugin};
+    use uniint_protocol::input::InputEvent;
+    use uniint_raster::dither::DitherMode;
+    use uniint_raster::framebuffer::Framebuffer;
+    use uniint_raster::geom::{Point, Rect, Size};
+    use uniint_raster::pixel::PixelFormat;
+    use uniint_raster::scale::{scale_to_fit, ScaleFilter};
+    use uniint_wsys::prelude::*;
+
+    #[derive(Debug)]
+    struct TapInput;
+    impl InputPlugin for TapInput {
+        fn kind(&self) -> &'static str {
+            "tap"
+        }
+        fn translate(&mut self, ev: &DeviceEvent, ctx: &InputContext) -> Vec<InputEvent> {
+            match ev {
+                DeviceEvent::StylusDown { x, y } => {
+                    let (sx, sy) = ctx.to_server(*x, *y);
+                    InputEvent::click(sx, sy).to_vec()
+                }
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct SmallScreen;
+    impl OutputPlugin for SmallScreen {
+        fn kind(&self) -> &'static str {
+            "small"
+        }
+        fn caps(&self) -> OutputCaps {
+            OutputCaps {
+                size: Size::new(80, 60),
+                format: PixelFormat::Rgb565,
+                dither: DitherMode::None,
+                scale: ScaleFilter::Nearest,
+            }
+        }
+        fn adapt(&mut self, fb: &Framebuffer) -> DeviceFrame {
+            let frame = scale_to_fit(fb, Size::new(80, 60), ScaleFilter::Nearest);
+            let wire_bytes = PixelFormat::Rgb565.buffer_bytes(frame.width(), frame.height());
+            DeviceFrame::new(frame, PixelFormat::Rgb565, wire_bytes)
+        }
+    }
+
+    fn panel() -> Ui {
+        let mut ui = Ui::new(160, 120, Theme::classic(), "panel");
+        ui.add(Button::new("Power"), Rect::new(30, 30, 100, 30));
+        ui
+    }
+
+    #[test]
+    fn local_session_full_loop() {
+        let mut ui = panel();
+        let mut s = LocalSession::connect(&mut ui);
+        assert!(s.proxy.is_connected());
+        s.proxy.attach_input(Box::new(TapInput));
+        let msgs = s.proxy.attach_output(Box::new(SmallScreen));
+        s.deliver_to_server(&mut ui, msgs);
+        assert!(s.last_frame().is_some(), "output got the first frame");
+        // Tap the middle of the (fitted 80x60) view → button click.
+        s.device_input(&mut ui, &DeviceEvent::StylusDown { x: 40, y: 22 });
+        let actions = ui.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].action, Action::Clicked);
+    }
+
+    #[test]
+    fn local_session_frame_tracks_ui_mutation() {
+        let mut ui = panel();
+        let mut s = LocalSession::connect(&mut ui);
+        let msgs = s.proxy.attach_output(Box::new(SmallScreen));
+        s.deliver_to_server(&mut ui, msgs);
+        let before = s.take_frame().expect("initial frame");
+        // Mutate the UI: the button caption changes.
+        let id = ui.widget_ids()[0];
+        ui.widget_mut::<Button>(id).unwrap().set_caption("Standby");
+        s.pump(&mut ui);
+        let after = s.take_frame().expect("updated frame");
+        assert_ne!(before.frame, after.frame);
+    }
+
+    #[test]
+    fn local_session_bell() {
+        let mut ui = panel();
+        let mut s = LocalSession::connect(&mut ui);
+        ui.ring_bell();
+        s.pump(&mut ui);
+        assert_eq!(s.bells(), 1);
+    }
+
+    #[test]
+    fn local_session_resize_propagates() {
+        let mut ui = panel();
+        let mut s = LocalSession::connect(&mut ui);
+        ui.resize(320, 240);
+        s.notify_resize(&mut ui);
+        assert_eq!(s.proxy.server_size(), Some(Size::new(320, 240)));
+    }
+
+    #[test]
+    fn sim_session_handshake_and_click() {
+        let mut ui = panel();
+        let mut s = SimSession::connect(&mut ui, LinkProfile::wifi80211b(), 7).unwrap();
+        assert!(s.proxy.is_connected());
+        assert!(s.now_us() > 0, "handshake consumed virtual time");
+        s.proxy.attach_input(Box::new(TapInput));
+        s.device_input(&mut ui, &DeviceEvent::StylusDown { x: 80, y: 45 })
+            .unwrap();
+        assert_eq!(ui.take_actions().len(), 1);
+    }
+
+    #[test]
+    fn sim_session_slower_link_takes_longer() {
+        let run = |link| {
+            let mut ui = panel();
+            let s = SimSession::connect(&mut ui, link, 3).unwrap();
+            s.now_us()
+        };
+        let fast = run(LinkProfile::ethernet100());
+        let slow = run(LinkProfile::cellular_gprs());
+        assert!(slow > 10 * fast, "gprs {slow}us vs ethernet {fast}us");
+    }
+
+    #[test]
+    fn sim_session_counts_frames_and_bytes() {
+        let mut ui = panel();
+        let mut s = SimSession::connect(&mut ui, LinkProfile::ethernet100(), 1).unwrap();
+        let _ = s.proxy.attach_output(Box::new(SmallScreen));
+        // Force a repaint by mutating the UI.
+        let id = ui.widget_ids()[0];
+        ui.widget_mut::<Button>(id).unwrap().set_caption("X");
+        s.settle(&mut ui).unwrap();
+        assert!(s.server_wire_bytes() > 0);
+        assert!(s.frames_delivered() >= 1);
+    }
+
+    #[test]
+    fn sim_session_reconstructed_fb_matches_ui() {
+        let mut ui = panel();
+        let mut s = SimSession::connect(&mut ui, LinkProfile::bluetooth(), 5).unwrap();
+        s.settle(&mut ui).unwrap();
+        let remote = s.proxy.server_frame().unwrap();
+        // The proxy transported at Rgb888 here, so pixels match exactly.
+        for y in [0i32, 40, 80] {
+            for x in [0i32, 50, 100] {
+                assert_eq!(
+                    remote.pixel(Point::new(x, y)),
+                    ui.framebuffer().pixel(Point::new(x, y)),
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+}

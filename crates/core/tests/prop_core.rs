@@ -1,0 +1,177 @@
+//! Property tests for the selection policy and situation tracker:
+//! determinism, zone gating, and hands-busy safety.
+
+use proptest::prelude::*;
+use uniint_core::context::{
+    Activity, DeviceDescriptor, InputModality, Noise, OutputProfile, SelectionPolicy, Situation,
+    UserProfile,
+};
+use uniint_core::sensors::{SensorReading, SituationTracker};
+use uniint_raster::geom::Size;
+
+fn arb_zone() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec![
+        "kitchen".to_string(),
+        "living-room".to_string(),
+        "bedroom".to_string(),
+        "hall".to_string(),
+    ])
+}
+
+fn arb_modality() -> impl Strategy<Value = InputModality> {
+    proptest::sample::select(InputModality::ALL.to_vec())
+}
+
+fn arb_device(i: usize) -> impl Strategy<Value = DeviceDescriptor> {
+    (
+        proptest::option::of(arb_zone()),
+        proptest::option::of(arb_modality()),
+        proptest::option::of((16u32..800, 16u32..800, 1u32..25, any::<bool>())),
+    )
+        .prop_map(move |(zone, input, output)| {
+            let mut d = DeviceDescriptor {
+                id: format!("dev-{i}"),
+                name: format!("Device {i}"),
+                zone,
+                input: None,
+                output: None,
+            };
+            d.input = input;
+            d.output = output.map(|(w, h, depth, far)| OutputProfile {
+                size: Size::new(w, h),
+                depth_bits: depth,
+                far_readable: far,
+            });
+            d
+        })
+}
+
+fn arb_devices() -> impl Strategy<Value = Vec<DeviceDescriptor>> {
+    (1usize..8).prop_flat_map(|n| {
+        let mut strategies = Vec::new();
+        for i in 0..n {
+            strategies.push(arb_device(i).boxed());
+        }
+        strategies
+    })
+}
+
+fn arb_situation() -> impl Strategy<Value = Situation> {
+    (
+        arb_zone(),
+        proptest::sample::select(vec![
+            Activity::Idle,
+            Activity::Cooking,
+            Activity::WatchingTv,
+            Activity::Working,
+            Activity::Walking,
+            Activity::Sleeping,
+        ]),
+        any::<bool>(),
+        proptest::sample::select(vec![Noise::Quiet, Noise::Moderate, Noise::Loud]),
+    )
+        .prop_map(|(zone, activity, hands_busy, noise)| Situation {
+            zone,
+            activity,
+            hands_busy,
+            noise,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn selection_is_deterministic(devices in arb_devices(), sit in arb_situation()) {
+        let user = UserProfile::neutral("u");
+        let a = SelectionPolicy.select_input(&devices, &sit, &user).map(|d| d.id.clone());
+        let b = SelectionPolicy.select_input(&devices, &sit, &user).map(|d| d.id.clone());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn selected_devices_have_capability(devices in arb_devices(), sit in arb_situation()) {
+        let user = UserProfile::neutral("u");
+        if let Some(d) = SelectionPolicy.select_input(&devices, &sit, &user) {
+            prop_assert!(d.input.is_some());
+        }
+        if let Some(d) = SelectionPolicy.select_output(&devices, &sit, &user) {
+            prop_assert!(d.output.is_some());
+        }
+    }
+
+    #[test]
+    fn fixed_devices_never_selected_in_other_rooms(devices in arb_devices(), sit in arb_situation()) {
+        let user = UserProfile::neutral("u");
+        for sel in [
+            SelectionPolicy.select_input(&devices, &sit, &user),
+            SelectionPolicy.select_output(&devices, &sit, &user),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if let Some(z) = &sel.zone {
+                prop_assert_eq!(z, &sit.zone, "fixed device selected outside its room");
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_scores_are_sorted(devices in arb_devices(), sit in arb_situation()) {
+        let user = UserProfile::neutral("u");
+        let ranked = SelectionPolicy.rank_inputs(&devices, &sit, &user);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn preference_never_overrides_reachability(sit in arb_situation(), m in arb_modality()) {
+        // A massively preferred device in another room still loses to any
+        // reachable one.
+        let far = DeviceDescriptor::fixed("far", "Far", "nowhere-zone").with_input(m);
+        let near = DeviceDescriptor::carried("near", "Near").with_input(InputModality::Stylus);
+        let mut user = UserProfile::neutral("u");
+        user.input_ranking = vec![m];
+        let devices = vec![far, near];
+        let best = SelectionPolicy.select_input(&devices, &sit, &user).unwrap();
+        prop_assert_eq!(best.id.as_str(), "near");
+    }
+
+    #[test]
+    fn tracker_committed_is_always_a_derivable_state(
+        readings in proptest::collection::vec(
+            prop_oneof![
+                arb_zone().prop_map(|zone| SensorReading::Badge { zone }),
+                proptest::sample::select(vec![Noise::Quiet, Noise::Moderate, Noise::Loud])
+                    .prop_map(SensorReading::NoiseLevel),
+                any::<bool>().prop_map(SensorReading::StoveActive),
+                any::<bool>().prop_map(SensorReading::SofaOccupied),
+                any::<bool>().prop_map(SensorReading::BedroomDark),
+                any::<bool>().prop_map(SensorReading::Walking),
+                any::<bool>().prop_map(SensorReading::HandsBusy),
+            ],
+            1..40,
+        ),
+        hysteresis in 0u64..5_000,
+    ) {
+        let mut t = SituationTracker::new("hall", hysteresis);
+        let mut now = 0u64;
+        for r in readings {
+            now += 700;
+            let _ = t.observe(now, r);
+        }
+        // Let everything settle; committed must equal pending.
+        let _ = t.tick(now + hysteresis + 1);
+        prop_assert_eq!(t.situation(), t.pending());
+    }
+
+    #[test]
+    fn tracker_never_commits_before_hysteresis(hysteresis in 100u64..10_000) {
+        let mut t = SituationTracker::new("hall", hysteresis);
+        let changed = t.observe(0, SensorReading::Walking(true));
+        prop_assert!(changed.is_none());
+        prop_assert!(t.tick(hysteresis - 1).is_none());
+        prop_assert!(t.tick(hysteresis).is_some());
+    }
+}

@@ -1,0 +1,509 @@
+//! Input plug-ins: the modules interaction devices upload to the UniInt
+//! proxy. Each translates one device's native event vocabulary into
+//! universal keyboard/pointer events — the proxy never learns device
+//! specifics.
+
+use uniint_core::plugin::{DeviceEvent, Gesture, InputContext, InputPlugin, Nav, RemoteKey};
+use uniint_protocol::input::{ButtonMask, InputEvent, KeySym};
+
+fn nav_sym(nav: Nav) -> KeySym {
+    match nav {
+        Nav::Up => KeySym::UP,
+        Nav::Down => KeySym::DOWN,
+        Nav::Left => KeySym::LEFT,
+        Nav::Right => KeySym::RIGHT,
+    }
+}
+
+/// PDA stylus: taps and drags, mapped from the PDA's screen coordinates
+/// into the server framebuffer space.
+#[derive(Debug, Default)]
+pub struct StylusPlugin {
+    down: bool,
+}
+
+impl StylusPlugin {
+    /// Creates the plug-in.
+    pub fn new() -> StylusPlugin {
+        StylusPlugin::default()
+    }
+}
+
+impl InputPlugin for StylusPlugin {
+    fn kind(&self) -> &'static str {
+        "pda-stylus"
+    }
+
+    fn translate(&mut self, ev: &DeviceEvent, ctx: &InputContext) -> Vec<InputEvent> {
+        match ev {
+            DeviceEvent::StylusDown { x, y } => {
+                self.down = true;
+                let (sx, sy) = ctx.to_server(*x, *y);
+                vec![InputEvent::Pointer {
+                    x: sx,
+                    y: sy,
+                    buttons: ButtonMask::LEFT,
+                }]
+            }
+            DeviceEvent::StylusMove { x, y } => {
+                let (sx, sy) = ctx.to_server(*x, *y);
+                let buttons = if self.down {
+                    ButtonMask::LEFT
+                } else {
+                    ButtonMask::NONE
+                };
+                vec![InputEvent::Pointer {
+                    x: sx,
+                    y: sy,
+                    buttons,
+                }]
+            }
+            DeviceEvent::StylusUp { x, y } => {
+                self.down = false;
+                let (sx, sy) = ctx.to_server(*x, *y);
+                vec![InputEvent::Pointer {
+                    x: sx,
+                    y: sy,
+                    buttons: ButtonMask::NONE,
+                }]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Cellular-phone keypad: navigation keys move focus, the center key
+/// activates, digits type through, back erases.
+#[derive(Debug, Default)]
+pub struct KeypadPlugin;
+
+impl KeypadPlugin {
+    /// Creates the plug-in.
+    pub fn new() -> KeypadPlugin {
+        KeypadPlugin
+    }
+}
+
+impl InputPlugin for KeypadPlugin {
+    fn kind(&self) -> &'static str {
+        "phone-keypad"
+    }
+
+    fn translate(&mut self, ev: &DeviceEvent, _ctx: &InputContext) -> Vec<InputEvent> {
+        match ev {
+            DeviceEvent::KeypadNav(nav) => InputEvent::key_tap(nav_sym(*nav)).to_vec(),
+            DeviceEvent::KeypadSelect => InputEvent::key_tap(KeySym::RETURN).to_vec(),
+            DeviceEvent::KeypadBack => InputEvent::key_tap(KeySym::BACKSPACE).to_vec(),
+            DeviceEvent::KeypadDigit(d) if *d <= 9 => {
+                InputEvent::key_tap(KeySym::from_char((b'0' + d) as char)).to_vec()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Voice commands: a small command-and-control grammar over recognized
+/// utterances. Everything reduces to keyboard events — the appliance GUI
+/// is driven through focus traversal and mnemonics, never modified for
+/// voice (the paper's third characteristic).
+#[derive(Debug, Default)]
+pub struct VoicePlugin;
+
+impl VoicePlugin {
+    /// Creates the plug-in.
+    pub fn new() -> VoicePlugin {
+        VoicePlugin
+    }
+
+    fn word_events(word: &str) -> Vec<InputEvent> {
+        let tap = |s: KeySym| InputEvent::key_tap(s).to_vec();
+        match word {
+            "next" => tap(KeySym::TAB),
+            "previous" | "prev" | "back" => tap(KeySym::UP),
+            "select" | "ok" | "press" | "push" | "activate" => tap(KeySym::RETURN),
+            "up" => tap(KeySym::UP),
+            "down" => tap(KeySym::DOWN),
+            "left" | "less" | "decrease" | "lower" | "quieter" => tap(KeySym::LEFT),
+            "right" | "more" | "increase" | "raise" | "louder" => tap(KeySym::RIGHT),
+            "cancel" | "escape" => tap(KeySym::ESCAPE),
+            "zero" => tap('0'.into()),
+            "one" => tap('1'.into()),
+            "two" => tap('2'.into()),
+            "three" => tap('3'.into()),
+            "four" => tap('4'.into()),
+            "five" => tap('5'.into()),
+            "six" => tap('6'.into()),
+            "seven" => tap('7'.into()),
+            "eight" => tap('8'.into()),
+            "nine" => tap('9'.into()),
+            w if w.len() == 1 && w.chars().all(|c| c.is_ascii_alphanumeric()) => {
+                tap(w.chars().next().expect("one char").into())
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl InputPlugin for VoicePlugin {
+    fn kind(&self) -> &'static str {
+        "voice"
+    }
+
+    fn translate(&mut self, ev: &DeviceEvent, _ctx: &InputContext) -> Vec<InputEvent> {
+        let DeviceEvent::Voice(utterance) = ev else {
+            return Vec::new();
+        };
+        utterance
+            .to_lowercase()
+            .split_whitespace()
+            .flat_map(Self::word_events)
+            .collect()
+    }
+}
+
+/// Wearable gestures: swipes navigate, fist selects, palm cancels,
+/// circling cycles focus.
+#[derive(Debug, Default)]
+pub struct GesturePlugin;
+
+impl GesturePlugin {
+    /// Creates the plug-in.
+    pub fn new() -> GesturePlugin {
+        GesturePlugin
+    }
+}
+
+impl InputPlugin for GesturePlugin {
+    fn kind(&self) -> &'static str {
+        "gesture-wearable"
+    }
+
+    fn translate(&mut self, ev: &DeviceEvent, _ctx: &InputContext) -> Vec<InputEvent> {
+        let DeviceEvent::Gesture(g) = ev else {
+            return Vec::new();
+        };
+        let sym = match g {
+            Gesture::Swipe(nav) => nav_sym(*nav),
+            Gesture::Fist => KeySym::RETURN,
+            Gesture::Palm => KeySym::ESCAPE,
+            Gesture::Circle => KeySym::TAB,
+        };
+        InputEvent::key_tap(sym).to_vec()
+    }
+}
+
+/// Infrared remote controller. Channel keys navigate vertically, volume
+/// keys horizontally (driving the focused slider), Ok activates, and the
+/// dedicated buttons emit mnemonic characters the appliance panel binds
+/// with [`bind_shortcut`](uniint_wsys::ui::Ui::bind_shortcut): `p` for
+/// power, `m` for mute.
+#[derive(Debug, Default)]
+pub struct RemotePlugin;
+
+impl RemotePlugin {
+    /// Creates the plug-in.
+    pub fn new() -> RemotePlugin {
+        RemotePlugin
+    }
+}
+
+impl InputPlugin for RemotePlugin {
+    fn kind(&self) -> &'static str {
+        "ir-remote"
+    }
+
+    fn translate(&mut self, ev: &DeviceEvent, _ctx: &InputContext) -> Vec<InputEvent> {
+        let DeviceEvent::Remote(key) = ev else {
+            return Vec::new();
+        };
+        let sym = match key {
+            RemoteKey::Power => KeySym::from_char('p'),
+            RemoteKey::Mute => KeySym::from_char('m'),
+            RemoteKey::ChannelUp => KeySym::UP,
+            RemoteKey::ChannelDown => KeySym::DOWN,
+            RemoteKey::VolumeUp => KeySym::RIGHT,
+            RemoteKey::VolumeDown => KeySym::LEFT,
+            RemoteKey::Ok => KeySym::RETURN,
+            RemoteKey::Menu => KeySym::TAB,
+            RemoteKey::Digit(d) if *d <= 9 => KeySym::from_char((b'0' + d) as char),
+            RemoteKey::Digit(_) => return Vec::new(),
+        };
+        InputEvent::key_tap(sym).to_vec()
+    }
+}
+
+/// Full keyboard passthrough (desktop thin-client viewer).
+#[derive(Debug, Default)]
+pub struct KeyboardPlugin;
+
+impl KeyboardPlugin {
+    /// Creates the plug-in.
+    pub fn new() -> KeyboardPlugin {
+        KeyboardPlugin
+    }
+}
+
+impl InputPlugin for KeyboardPlugin {
+    fn kind(&self) -> &'static str {
+        "keyboard"
+    }
+
+    fn translate(&mut self, ev: &DeviceEvent, _ctx: &InputContext) -> Vec<InputEvent> {
+        match ev {
+            DeviceEvent::Char(c) => InputEvent::key_tap((*c).into()).to_vec(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniint_raster::geom::Size;
+
+    fn ctx() -> InputContext {
+        InputContext {
+            server_size: Size::new(320, 240),
+            device_view: Size::new(160, 120),
+        }
+    }
+
+    #[test]
+    fn stylus_full_tap_sequence() {
+        let mut p = StylusPlugin::new();
+        let down = p.translate(&DeviceEvent::StylusDown { x: 80, y: 60 }, &ctx());
+        assert_eq!(
+            down,
+            vec![InputEvent::Pointer {
+                x: 160,
+                y: 120,
+                buttons: ButtonMask::LEFT
+            }]
+        );
+        let mv = p.translate(&DeviceEvent::StylusMove { x: 81, y: 60 }, &ctx());
+        assert!(matches!(
+            mv[0],
+            InputEvent::Pointer {
+                buttons: ButtonMask::LEFT,
+                ..
+            }
+        ));
+        let up = p.translate(&DeviceEvent::StylusUp { x: 81, y: 60 }, &ctx());
+        assert!(matches!(
+            up[0],
+            InputEvent::Pointer {
+                buttons: ButtonMask::NONE,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stylus_hover_after_up() {
+        let mut p = StylusPlugin::new();
+        let mv = p.translate(&DeviceEvent::StylusMove { x: 10, y: 10 }, &ctx());
+        assert!(matches!(
+            mv[0],
+            InputEvent::Pointer {
+                buttons: ButtonMask::NONE,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stylus_ignores_foreign_events() {
+        let mut p = StylusPlugin::new();
+        assert!(p.translate(&DeviceEvent::KeypadSelect, &ctx()).is_empty());
+    }
+
+    #[test]
+    fn keypad_mapping() {
+        let mut p = KeypadPlugin::new();
+        let nav = p.translate(&DeviceEvent::KeypadNav(Nav::Down), &ctx());
+        assert_eq!(
+            nav[0],
+            InputEvent::Key {
+                down: true,
+                sym: KeySym::DOWN
+            }
+        );
+        let sel = p.translate(&DeviceEvent::KeypadSelect, &ctx());
+        assert_eq!(
+            sel[0],
+            InputEvent::Key {
+                down: true,
+                sym: KeySym::RETURN
+            }
+        );
+        let digit = p.translate(&DeviceEvent::KeypadDigit(7), &ctx());
+        assert_eq!(
+            digit[0],
+            InputEvent::Key {
+                down: true,
+                sym: '7'.into()
+            }
+        );
+        assert!(p
+            .translate(&DeviceEvent::KeypadDigit(12), &ctx())
+            .is_empty());
+    }
+
+    #[test]
+    fn voice_navigation_grammar() {
+        let mut p = VoicePlugin::new();
+        let evs = p.translate(&DeviceEvent::Voice("next next select".into()), &ctx());
+        assert_eq!(evs.len(), 6, "three taps = six key events");
+        assert_eq!(
+            evs[0],
+            InputEvent::Key {
+                down: true,
+                sym: KeySym::TAB
+            }
+        );
+        assert_eq!(
+            evs[4],
+            InputEvent::Key {
+                down: true,
+                sym: KeySym::RETURN
+            }
+        );
+    }
+
+    #[test]
+    fn voice_numbers_and_synonyms() {
+        let mut p = VoicePlugin::new();
+        let evs = p.translate(&DeviceEvent::Voice("Channel Five".into()), &ctx());
+        // "channel" is not in the grammar (dropped), "five" types '5'.
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            evs[0],
+            InputEvent::Key {
+                down: true,
+                sym: '5'.into()
+            }
+        );
+        let evs = p.translate(&DeviceEvent::Voice("louder".into()), &ctx());
+        assert_eq!(
+            evs[0],
+            InputEvent::Key {
+                down: true,
+                sym: KeySym::RIGHT
+            }
+        );
+    }
+
+    #[test]
+    fn voice_unknown_utterance_drops() {
+        let mut p = VoicePlugin::new();
+        assert!(p
+            .translate(&DeviceEvent::Voice("please do the thing".into()), &ctx())
+            .is_empty());
+    }
+
+    #[test]
+    fn gesture_mapping() {
+        let mut p = GesturePlugin::new();
+        let evs = p.translate(&DeviceEvent::Gesture(Gesture::Swipe(Nav::Left)), &ctx());
+        assert_eq!(
+            evs[0],
+            InputEvent::Key {
+                down: true,
+                sym: KeySym::LEFT
+            }
+        );
+        let evs = p.translate(&DeviceEvent::Gesture(Gesture::Fist), &ctx());
+        assert_eq!(
+            evs[0],
+            InputEvent::Key {
+                down: true,
+                sym: KeySym::RETURN
+            }
+        );
+        let evs = p.translate(&DeviceEvent::Gesture(Gesture::Circle), &ctx());
+        assert_eq!(
+            evs[0],
+            InputEvent::Key {
+                down: true,
+                sym: KeySym::TAB
+            }
+        );
+    }
+
+    #[test]
+    fn remote_mapping() {
+        let mut p = RemotePlugin::new();
+        let evs = p.translate(&DeviceEvent::Remote(RemoteKey::Power), &ctx());
+        assert_eq!(
+            evs[0],
+            InputEvent::Key {
+                down: true,
+                sym: 'p'.into()
+            }
+        );
+        let evs = p.translate(&DeviceEvent::Remote(RemoteKey::VolumeUp), &ctx());
+        assert_eq!(
+            evs[0],
+            InputEvent::Key {
+                down: true,
+                sym: KeySym::RIGHT
+            }
+        );
+        let evs = p.translate(&DeviceEvent::Remote(RemoteKey::Digit(3)), &ctx());
+        assert_eq!(
+            evs[0],
+            InputEvent::Key {
+                down: true,
+                sym: '3'.into()
+            }
+        );
+        assert!(p
+            .translate(&DeviceEvent::Remote(RemoteKey::Digit(10)), &ctx())
+            .is_empty());
+    }
+
+    #[test]
+    fn keyboard_passthrough() {
+        let mut p = KeyboardPlugin::new();
+        let evs = p.translate(&DeviceEvent::Char('Q'), &ctx());
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            evs[0],
+            InputEvent::Key {
+                down: true,
+                sym: 'Q'.into()
+            }
+        );
+    }
+
+    #[test]
+    fn every_plugin_is_total() {
+        // No plug-in may panic on any event kind.
+        let all_events = [
+            DeviceEvent::StylusDown { x: 0, y: 0 },
+            DeviceEvent::StylusMove { x: 0, y: 0 },
+            DeviceEvent::StylusUp { x: 0, y: 0 },
+            DeviceEvent::KeypadDigit(5),
+            DeviceEvent::KeypadNav(Nav::Up),
+            DeviceEvent::KeypadSelect,
+            DeviceEvent::KeypadBack,
+            DeviceEvent::Voice("hello".into()),
+            DeviceEvent::Gesture(Gesture::Palm),
+            DeviceEvent::Remote(RemoteKey::Menu),
+            DeviceEvent::Char('x'),
+        ];
+        let mut plugins: Vec<Box<dyn InputPlugin>> = vec![
+            Box::new(StylusPlugin::new()),
+            Box::new(KeypadPlugin::new()),
+            Box::new(VoicePlugin::new()),
+            Box::new(GesturePlugin::new()),
+            Box::new(RemotePlugin::new()),
+            Box::new(KeyboardPlugin::new()),
+        ];
+        for p in &mut plugins {
+            for ev in &all_events {
+                let _ = p.translate(ev, &ctx());
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # uniint-devices
+//!
+//! Simulated interaction devices for the universal-interaction
+//! reproduction: the PDA, cellular phone, voice recognizer, gesture
+//! wearable, IR remote, TV display and text terminal the ICDCS 2002 paper
+//! demonstrates with.
+//!
+//! Each device contributes:
+//! - a **capability descriptor** the selection policy scores;
+//! - an **input plug-in** ([`input`]) translating its native events to
+//!   universal keyboard/pointer events;
+//! - an **output plug-in** ([`output`]) adapting server bitmaps to its
+//!   screen (scale → quantize → dither);
+//! - a **front-end simulator** ([`sim`]) that emits realistic device
+//!   events (stylus taps, keypad presses, noisy speech recognition).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod input;
+pub mod output;
+pub mod sim;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::input::{
+        GesturePlugin, KeyboardPlugin, KeypadPlugin, RemotePlugin, StylusPlugin, VoicePlugin,
+    };
+    pub use crate::output::{ascii_art, ScreenPlugin, TerminalPlugin};
+    pub use crate::sim::{
+        standard_home, terminal_interaction_device, tv_interaction_device, SimPda, SimPhone,
+        SimRemote, SimWearable, VoiceRecognizer,
+    };
+}

@@ -1,0 +1,247 @@
+//! The HAVi messaging system: asynchronous element-to-element messages
+//! with delivery mailboxes and *watch-on* notifications when a peer
+//! element leaves the network.
+//!
+//! The FCM command path in [`crate::network`] is synchronous for
+//! convenience; this module provides the general mailbox transport that
+//! havlets and UI services (like the UniInt proxy, which registers as a
+//! `UiService`) use to talk to each other.
+
+use crate::id::Seid;
+use std::collections::{HashMap, VecDeque};
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending element.
+    pub from: Seid,
+    /// Opaque payload (applications define their own schemas).
+    pub payload: Vec<u8>,
+}
+
+/// Errors from messaging operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessagingError {
+    /// Destination element has no mailbox (not registered or gone).
+    UnknownDestination(Seid),
+    /// The destination's mailbox is full.
+    MailboxFull(Seid),
+}
+
+impl core::fmt::Display for MessagingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MessagingError::UnknownDestination(s) => write!(f, "unknown destination {s}"),
+            MessagingError::MailboxFull(s) => write!(f, "mailbox of {s} is full"),
+        }
+    }
+}
+
+impl std::error::Error for MessagingError {}
+
+/// Maximum queued messages per mailbox before senders see
+/// [`MessagingError::MailboxFull`].
+pub const MAILBOX_CAPACITY: usize = 256;
+
+#[derive(Debug, Default)]
+struct Mailbox {
+    queue: VecDeque<Message>,
+    /// Elements that want to know when this one disappears.
+    watchers: Vec<Seid>,
+}
+
+/// The messaging system: one mailbox per registered software element.
+#[derive(Debug, Default)]
+pub struct MessagingSystem {
+    boxes: HashMap<Seid, Mailbox>,
+}
+
+impl MessagingSystem {
+    /// Creates an empty messaging system.
+    pub fn new() -> MessagingSystem {
+        MessagingSystem::default()
+    }
+
+    /// Opens a mailbox for `seid` (idempotent).
+    pub fn open(&mut self, seid: Seid) {
+        self.boxes.entry(seid).or_default();
+    }
+
+    /// Closes `seid`'s mailbox, notifying watchers with a watch-on
+    /// message (empty payload, `from` = the departed element). Returns
+    /// true when the mailbox existed.
+    pub fn close(&mut self, seid: Seid) -> bool {
+        let Some(mb) = self.boxes.remove(&seid) else {
+            return false;
+        };
+        for w in mb.watchers {
+            // Watch notifications bypass capacity: losing one would leave
+            // the watcher waiting forever on a dead element.
+            if let Some(dst) = self.boxes.get_mut(&w) {
+                dst.queue.push_back(Message {
+                    from: seid,
+                    payload: Vec::new(),
+                });
+            }
+        }
+        true
+    }
+
+    /// Whether `seid` currently has a mailbox.
+    pub fn is_open(&self, seid: Seid) -> bool {
+        self.boxes.contains_key(&seid)
+    }
+
+    /// Sends `payload` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`MessagingError::UnknownDestination`] when `to` has no mailbox;
+    /// [`MessagingError::MailboxFull`] when it has more than
+    /// [`MAILBOX_CAPACITY`] queued messages.
+    pub fn send(&mut self, from: Seid, to: Seid, payload: Vec<u8>) -> Result<(), MessagingError> {
+        let mb = self
+            .boxes
+            .get_mut(&to)
+            .ok_or(MessagingError::UnknownDestination(to))?;
+        if mb.queue.len() >= MAILBOX_CAPACITY {
+            return Err(MessagingError::MailboxFull(to));
+        }
+        mb.queue.push_back(Message { from, payload });
+        Ok(())
+    }
+
+    /// Pops the oldest message for `seid`, if any.
+    pub fn recv(&mut self, seid: Seid) -> Option<Message> {
+        self.boxes.get_mut(&seid)?.queue.pop_front()
+    }
+
+    /// Number of queued messages for `seid`.
+    pub fn pending(&self, seid: Seid) -> usize {
+        self.boxes.get(&seid).map(|m| m.queue.len()).unwrap_or(0)
+    }
+
+    /// Registers `watcher` to be notified (empty message from `target`)
+    /// when `target`'s mailbox closes — HAVi's *watch-on* facility.
+    ///
+    /// # Errors
+    ///
+    /// [`MessagingError::UnknownDestination`] when `target` is not open.
+    pub fn watch(&mut self, watcher: Seid, target: Seid) -> Result<(), MessagingError> {
+        let mb = self
+            .boxes
+            .get_mut(&target)
+            .ok_or(MessagingError::UnknownDestination(target))?;
+        if !mb.watchers.contains(&watcher) {
+            mb.watchers.push(watcher);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Guid;
+
+    fn seid(g: u64, h: u32) -> Seid {
+        Seid::new(Guid(g), h)
+    }
+
+    #[test]
+    fn send_and_recv_fifo() {
+        let mut ms = MessagingSystem::new();
+        let (a, b) = (seid(1, 1), seid(2, 1));
+        ms.open(a);
+        ms.open(b);
+        ms.send(a, b, vec![1]).unwrap();
+        ms.send(a, b, vec![2]).unwrap();
+        assert_eq!(ms.pending(b), 2);
+        assert_eq!(ms.recv(b).unwrap().payload, vec![1]);
+        assert_eq!(ms.recv(b).unwrap().payload, vec![2]);
+        assert!(ms.recv(b).is_none());
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let mut ms = MessagingSystem::new();
+        let a = seid(1, 1);
+        ms.open(a);
+        assert_eq!(
+            ms.send(a, seid(9, 9), vec![]),
+            Err(MessagingError::UnknownDestination(seid(9, 9)))
+        );
+    }
+
+    #[test]
+    fn mailbox_capacity_enforced() {
+        let mut ms = MessagingSystem::new();
+        let (a, b) = (seid(1, 1), seid(2, 1));
+        ms.open(a);
+        ms.open(b);
+        for _ in 0..MAILBOX_CAPACITY {
+            ms.send(a, b, vec![0]).unwrap();
+        }
+        assert_eq!(ms.send(a, b, vec![0]), Err(MessagingError::MailboxFull(b)));
+        // Draining frees space.
+        ms.recv(b);
+        assert!(ms.send(a, b, vec![0]).is_ok());
+    }
+
+    #[test]
+    fn watch_on_notifies_departure() {
+        let mut ms = MessagingSystem::new();
+        let (watcher, target) = (seid(1, 1), seid(2, 1));
+        ms.open(watcher);
+        ms.open(target);
+        ms.watch(watcher, target).unwrap();
+        assert!(ms.close(target));
+        let note = ms.recv(watcher).expect("watch notification");
+        assert_eq!(note.from, target);
+        assert!(note.payload.is_empty());
+    }
+
+    #[test]
+    fn double_watch_single_notification() {
+        let mut ms = MessagingSystem::new();
+        let (w, t) = (seid(1, 1), seid(2, 1));
+        ms.open(w);
+        ms.open(t);
+        ms.watch(w, t).unwrap();
+        ms.watch(w, t).unwrap();
+        ms.close(t);
+        assert_eq!(ms.pending(w), 1);
+    }
+
+    #[test]
+    fn close_unknown_is_false() {
+        let mut ms = MessagingSystem::new();
+        assert!(!ms.close(seid(5, 5)));
+    }
+
+    #[test]
+    fn open_is_idempotent() {
+        let mut ms = MessagingSystem::new();
+        let a = seid(1, 1);
+        ms.open(a);
+        ms.open(a);
+        assert!(ms.is_open(a));
+    }
+
+    #[test]
+    fn watch_notification_survives_full_mailbox_of_others() {
+        let mut ms = MessagingSystem::new();
+        let (w, t, other) = (seid(1, 1), seid(2, 1), seid(3, 1));
+        ms.open(w);
+        ms.open(t);
+        ms.open(other);
+        ms.watch(w, t).unwrap();
+        // Fill the watcher's mailbox to capacity.
+        for _ in 0..MAILBOX_CAPACITY {
+            ms.send(other, w, vec![9]).unwrap();
+        }
+        ms.close(t);
+        // Notification was still delivered (bypasses capacity).
+        assert_eq!(ms.pending(w), MAILBOX_CAPACITY + 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the HAVi substrate: FCM invariants under random
+//! command storms, and a model-based registry check.
+
+use proptest::prelude::*;
+use uniint_havi::prelude::*;
+
+fn arb_command() -> impl Strategy<Value = FcmCommand> {
+    prop_oneof![
+        any::<bool>().prop_map(FcmCommand::SetPower),
+        (-50i32..150).prop_map(FcmCommand::SetVolume),
+        (-30i32..30).prop_map(FcmCommand::StepVolume),
+        any::<bool>().prop_map(FcmCommand::SetMute),
+        (0u32..20).prop_map(FcmCommand::SetChannel),
+        (-5i32..5).prop_map(FcmCommand::StepChannel),
+        proptest::sample::select(vec![
+            Transport::Stop,
+            Transport::Play,
+            Transport::Pause,
+            Transport::Record,
+            Transport::FastForward,
+            Transport::Rewind,
+        ])
+        .prop_map(FcmCommand::Transport),
+        (-50i32..150).prop_map(FcmCommand::SetBrightness),
+        (0u32..5).prop_map(FcmCommand::SetInput),
+        (-50i32..150).prop_map(FcmCommand::SetDimmer),
+        (0i32..500).prop_map(FcmCommand::SetTargetTemp),
+        proptest::sample::select(vec![
+            AirconMode::Cool,
+            AirconMode::Heat,
+            AirconMode::Dry,
+            AirconMode::Fan,
+        ])
+        .prop_map(FcmCommand::SetAirconMode),
+        Just(FcmCommand::GetStatus),
+    ]
+}
+
+fn check_invariants(vars: &[StateVar]) {
+    for v in vars {
+        match v {
+            StateVar::Volume(x) | StateVar::Brightness(x) | StateVar::Dimmer(x) => {
+                assert!((0..=100).contains(x), "{v:?}")
+            }
+            StateVar::Channel(c) => assert!((1..=12).contains(c), "{v:?}"),
+            StateVar::TargetTemp(t) => assert!((100..=350).contains(t), "{v:?}"),
+            StateVar::TapePos(p) => assert!(*p <= 600, "{v:?}"),
+            StateVar::TimeOfDay(t) => assert!(*t < 86_400, "{v:?}"),
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fcms_preserve_invariants_under_storm(
+        cmds in proptest::collection::vec(arb_command(), 1..60),
+        ticks in proptest::collection::vec(0u64..5_000, 0..20),
+    ) {
+        let mut fcms: Vec<Box<dyn Fcm>> = vec![
+            Box::new(TunerFcm::new("t", 12)),
+            Box::new(DisplayFcm::new("d", 3)),
+            Box::new(VcrFcm::new("v", 600)),
+            Box::new(AmplifierFcm::new("a")),
+            Box::new(LightFcm::new("l")),
+            Box::new(AirconFcm::new("ac", 280)),
+            Box::new(ClockFcm::new("c", 0)),
+            Box::new(CameraFcm::new("cam", 10)),
+        ];
+        for fcm in &mut fcms {
+            for cmd in &cmds {
+                let resp = fcm.handle(cmd);
+                check_invariants(resp.vars());
+            }
+            for &dt in &ticks {
+                check_invariants(&fcm.tick(dt));
+            }
+            check_invariants(&fcm.status());
+        }
+    }
+
+    #[test]
+    fn get_status_never_errors(cmds in proptest::collection::vec(arb_command(), 0..20)) {
+        let mut fcm = AmplifierFcm::new("a");
+        for cmd in &cmds {
+            let _ = fcm.handle(cmd);
+        }
+        let resp = fcm.handle(&FcmCommand::GetStatus);
+        prop_assert!(resp.is_ok());
+        prop_assert!(!resp.vars().is_empty());
+    }
+
+    #[test]
+    fn registry_model_based(ops in proptest::collection::vec((0u8..3, 0u64..8, 0u32..4), 1..40)) {
+        // Model: a plain map of (guid, handle) → name, mirrored against
+        // the real registry through random register/unregister ops.
+        let mut reg = Registry::new();
+        let mut model: std::collections::HashMap<(u64, u32), String> =
+            std::collections::HashMap::new();
+        for (op, g, h) in ops {
+            let seid = Seid::new(Guid(g), h);
+            match op {
+                0 => {
+                    let name = format!("el-{g}-{h}");
+                    reg.register(Registration {
+                        seid,
+                        kind: ElementKind::Fcm,
+                        class: Some(FcmClass::Light),
+                        name: name.clone(),
+                        zone: "z".into(),
+                    });
+                    model.insert((g, h), name);
+                }
+                1 => {
+                    let existed = reg.unregister(seid);
+                    prop_assert_eq!(existed, model.remove(&(g, h)).is_some());
+                }
+                _ => {
+                    let removed = reg.unregister_device(Guid(g));
+                    let model_removed = model.keys().filter(|(mg, _)| *mg == g).count();
+                    prop_assert_eq!(removed, model_removed);
+                    model.retain(|(mg, _), _| *mg != g);
+                }
+            }
+            prop_assert_eq!(reg.len(), model.len());
+            for ((mg, mh), name) in &model {
+                let r = reg.lookup(Seid::new(Guid(*mg), *mh)).expect("model entry in registry");
+                prop_assert_eq!(&r.name, name);
+            }
+        }
+    }
+
+    #[test]
+    fn network_send_never_panics(
+        cmds in proptest::collection::vec(arb_command(), 1..30),
+        handle in 0u32..4,
+    ) {
+        let mut net = HomeNetwork::new();
+        let g = net.attach(
+            DeviceSpec::new("TV", "z")
+                .with_fcm(TunerFcm::new("t", 12))
+                .with_fcm(DisplayFcm::new("d", 2)),
+        );
+        for cmd in &cmds {
+            let _ = net.send(Seid::new(g, handle), cmd);
+        }
+        // Registry and devices stay consistent.
+        prop_assert_eq!(net.registry().len(), 3);
+    }
+}

@@ -1,0 +1,321 @@
+//! A deterministic discrete-event simulator of point-to-point links.
+//!
+//! The UniInt benchmarks sweep link conditions (wired, WLAN, Bluetooth,
+//! cellular) reproducibly: all randomness (jitter, loss) comes from a
+//! seeded generator, so a given seed always produces identical timings.
+
+use crate::link::LinkProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Identifies one end of a simulated link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint(usize);
+
+#[derive(Debug)]
+struct EndpointState {
+    peer: usize,
+    profile: LinkProfile,
+    /// When the transmitter is next free (serialization queueing).
+    tx_free_at: u64,
+    inbox: VecDeque<Vec<u8>>,
+    bytes_sent: u64,
+    messages_sent: u64,
+}
+
+#[derive(Debug)]
+struct Delivery {
+    to: usize,
+    payload: Vec<u8>,
+}
+
+/// The simulator: owns all endpoints, a virtual clock and the in-flight
+/// message queue.
+///
+/// ```
+/// use uniint_netsim::prelude::*;
+/// let mut sim = Simulator::new(42);
+/// let (a, b) = sim.link(LinkProfile::wifi80211b());
+/// sim.send(a, b"hello".to_vec());
+/// sim.run_until_idle();
+/// assert_eq!(sim.recv(b), Some(b"hello".to_vec()));
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    now_us: u64,
+    endpoints: Vec<EndpointState>,
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+    deliveries: std::collections::HashMap<u64, Delivery>,
+    seq: u64,
+    rng: StdRng,
+}
+
+impl Simulator {
+    /// Creates a simulator; `seed` fixes all jitter/loss decisions.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            now_us: 0,
+            endpoints: Vec::new(),
+            queue: BinaryHeap::new(),
+            deliveries: std::collections::HashMap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Creates a bidirectional link, returning its two endpoints.
+    pub fn link(&mut self, profile: LinkProfile) -> (Endpoint, Endpoint) {
+        let a = self.endpoints.len();
+        let b = a + 1;
+        self.endpoints.push(EndpointState {
+            peer: b,
+            profile,
+            tx_free_at: 0,
+            inbox: VecDeque::new(),
+            bytes_sent: 0,
+            messages_sent: 0,
+        });
+        self.endpoints.push(EndpointState {
+            peer: a,
+            profile,
+            tx_free_at: 0,
+            inbox: VecDeque::new(),
+            bytes_sent: 0,
+            messages_sent: 0,
+        });
+        (Endpoint(a), Endpoint(b))
+    }
+
+    /// Queues `payload` for delivery to the peer of `from`. Delivery time
+    /// accounts for serialization (bandwidth), propagation (latency),
+    /// jitter, and loss-induced retransmissions. The link is reliable and
+    /// in-order.
+    pub fn send(&mut self, from: Endpoint, payload: Vec<u8>) {
+        let size = payload.len();
+        let (arrival, to) = {
+            let ep = &mut self.endpoints[from.0];
+            ep.bytes_sent += size as u64;
+            ep.messages_sent += 1;
+            let p = ep.profile;
+            let tx_start = ep.tx_free_at.max(self.now_us);
+            let tx_time = p.tx_time_us(size);
+            ep.tx_free_at = tx_start + tx_time;
+            let mut arrival = tx_start + tx_time + p.latency_us;
+            if p.jitter_us > 0 {
+                arrival += self.rng.gen_range(0..=p.jitter_us);
+            }
+            // Each loss costs one RTT before the retransmission lands.
+            while p.loss > 0.0 && self.rng.gen_bool(p.loss) {
+                arrival += 2 * p.latency_us + tx_time;
+            }
+            (arrival, ep.peer)
+        };
+        // In-order guarantee: never deliver before anything already queued
+        // towards the same endpoint.
+        let arrival = arrival.max(self.last_arrival_to(to));
+        self.seq += 1;
+        self.deliveries.insert(self.seq, Delivery { to, payload });
+        self.queue.push(Reverse((arrival, self.seq)));
+    }
+
+    fn last_arrival_to(&self, to: usize) -> u64 {
+        self.queue
+            .iter()
+            .filter(|Reverse((_, s))| self.deliveries.get(s).map(|d| d.to) == Some(to))
+            .map(|Reverse((t, _))| *t)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pops one delivered message from `ep`'s inbox.
+    pub fn recv(&mut self, ep: Endpoint) -> Option<Vec<u8>> {
+        self.endpoints[ep.0].inbox.pop_front()
+    }
+
+    /// Number of messages waiting in `ep`'s inbox.
+    pub fn pending(&self, ep: Endpoint) -> usize {
+        self.endpoints[ep.0].inbox.len()
+    }
+
+    /// Bytes sent from `ep` since creation.
+    pub fn bytes_sent(&self, ep: Endpoint) -> u64 {
+        self.endpoints[ep.0].bytes_sent
+    }
+
+    /// Messages sent from `ep` since creation.
+    pub fn messages_sent(&self, ep: Endpoint) -> u64 {
+        self.endpoints[ep.0].messages_sent
+    }
+
+    /// Processes the next in-flight message, advancing the clock to its
+    /// arrival. Returns the new time, or `None` when nothing is in flight.
+    pub fn step(&mut self) -> Option<u64> {
+        let Reverse((t, seq)) = self.queue.pop()?;
+        let d = self
+            .deliveries
+            .remove(&seq)
+            .expect("delivery for queued seq");
+        self.now_us = self.now_us.max(t);
+        self.endpoints[d.to].inbox.push_back(d.payload);
+        Some(self.now_us)
+    }
+
+    /// Runs until no messages are in flight.
+    pub fn run_until_idle(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Runs until virtual time reaches `t_us` (messages arriving later
+    /// stay in flight). The clock always ends at `t_us` or later.
+    pub fn run_until(&mut self, t_us: u64) {
+        while let Some(&Reverse((t, _))) = self.queue.peek() {
+            if t > t_us {
+                break;
+            }
+            self.step();
+        }
+        self.now_us = self.now_us.max(t_us);
+    }
+
+    /// Advances the clock without delivering anything earlier.
+    pub fn advance(&mut self, dt_us: u64) {
+        let target = self.now_us + dt_us;
+        self.run_until(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_latency_matches_profile() {
+        let mut sim = Simulator::new(1);
+        let (a, b) = sim.link(LinkProfile::ethernet100());
+        sim.send(a, vec![0u8; 125]); // 125B at 100Mb/s = 10us tx
+        sim.run_until_idle();
+        // latency 200 + tx 10 + jitter 0..=50
+        assert!((210..=260).contains(&sim.now_us()), "{}", sim.now_us());
+        assert_eq!(sim.recv(b), Some(vec![0u8; 125]));
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut sim = Simulator::new(7);
+        let (a, b) = sim.link(LinkProfile::wifi80211b());
+        for i in 0..20u8 {
+            sim.send(a, vec![i]);
+        }
+        sim.run_until_idle();
+        let got: Vec<u8> = std::iter::from_fn(|| sim.recv(b)).map(|v| v[0]).collect();
+        assert_eq!(got, (0..20).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = |seed| {
+            let mut sim = Simulator::new(seed);
+            let (a, _b) = sim.link(LinkProfile::cellular_gprs());
+            for _ in 0..10 {
+                sim.send(a, vec![0u8; 100]);
+            }
+            sim.run_until_idle();
+            sim.now_us()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+    }
+
+    #[test]
+    fn bandwidth_queueing_serializes() {
+        let mut sim = Simulator::new(1);
+        let (a, _b) = sim.link(LinkProfile::bluetooth());
+        // Two 1 KB messages back-to-back: second waits for first's tx.
+        sim.send(a, vec![0u8; 1000]);
+        sim.send(a, vec![0u8; 1000]);
+        sim.run_until_idle();
+        let one_tx = LinkProfile::bluetooth().tx_time_us(1000);
+        assert!(
+            sim.now_us() >= 2 * one_tx,
+            "{} < {}",
+            sim.now_us(),
+            2 * one_tx
+        );
+    }
+
+    #[test]
+    fn both_directions_work() {
+        let mut sim = Simulator::new(1);
+        let (a, b) = sim.link(LinkProfile::ideal());
+        sim.send(a, b"to-b".to_vec());
+        sim.send(b, b"to-a".to_vec());
+        sim.run_until_idle();
+        assert_eq!(sim.recv(b), Some(b"to-b".to_vec()));
+        assert_eq!(sim.recv(a), Some(b"to-a".to_vec()));
+    }
+
+    #[test]
+    fn run_until_leaves_late_messages_in_flight() {
+        let mut sim = Simulator::new(1);
+        let (a, b) = sim.link(LinkProfile::cellular_gprs());
+        sim.send(a, vec![1]);
+        sim.run_until(10); // far before the 300ms latency
+        assert_eq!(sim.pending(b), 0);
+        assert_eq!(sim.now_us(), 10);
+        sim.run_until_idle();
+        assert_eq!(sim.pending(b), 1);
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let mut sim = Simulator::new(1);
+        let (a, _b) = sim.link(LinkProfile::ideal());
+        sim.send(a, vec![0u8; 10]);
+        sim.send(a, vec![0u8; 20]);
+        assert_eq!(sim.bytes_sent(a), 30);
+        assert_eq!(sim.messages_sent(a), 2);
+    }
+
+    #[test]
+    fn multiple_links_independent() {
+        let mut sim = Simulator::new(1);
+        let (a1, b1) = sim.link(LinkProfile::ideal());
+        let (a2, b2) = sim.link(LinkProfile::ideal());
+        sim.send(a1, vec![1]);
+        sim.send(a2, vec![2]);
+        sim.run_until_idle();
+        assert_eq!(sim.recv(b1), Some(vec![1]));
+        assert_eq!(sim.recv(b2), Some(vec![2]));
+        assert_eq!(sim.recv(b1), None);
+    }
+
+    #[test]
+    fn lossy_link_still_reliable() {
+        let mut sim = Simulator::new(9);
+        let (a, b) = sim.link(LinkProfile {
+            loss: 0.5,
+            ..LinkProfile::bluetooth()
+        });
+        for i in 0..50u8 {
+            sim.send(a, vec![i]);
+        }
+        sim.run_until_idle();
+        let got: Vec<u8> = std::iter::from_fn(|| sim.recv(b)).map(|v| v[0]).collect();
+        assert_eq!(got.len(), 50, "reliable despite loss");
+        assert_eq!(got, (0..50).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn advance_moves_clock() {
+        let mut sim = Simulator::new(1);
+        sim.advance(1_000);
+        assert_eq!(sim.now_us(), 1_000);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the network simulator: determinism, in-order
+//! reliable delivery, and conservation of messages.
+
+use proptest::prelude::*;
+use uniint_netsim::link::LinkProfile;
+use uniint_netsim::sim::Simulator;
+
+fn arb_profile() -> impl Strategy<Value = LinkProfile> {
+    (0u64..500_000, 1u64..100_000_000, 0u64..50_000, 0.0f64..0.4).prop_map(
+        |(latency_us, bandwidth_bps, jitter_us, loss)| LinkProfile {
+            latency_us,
+            bandwidth_bps,
+            jitter_us,
+            loss,
+            name: "arb",
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_messages_delivered_in_order(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..40),
+    ) {
+        let mut sim = Simulator::new(seed);
+        let (a, b) = sim.link(profile);
+        for m in &msgs {
+            sim.send(a, m.clone());
+        }
+        sim.run_until_idle();
+        let got: Vec<Vec<u8>> = std::iter::from_fn(|| sim.recv(b)).collect();
+        prop_assert_eq!(got, msgs, "reliable, in-order, complete");
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic(profile in arb_profile(), seed in any::<u64>(), n in 1usize..20) {
+        let run = || {
+            let mut sim = Simulator::new(seed);
+            let (a, _b) = sim.link(profile);
+            for i in 0..n {
+                sim.send(a, vec![i as u8; (i * 13) % 64 + 1]);
+            }
+            sim.run_until_idle();
+            sim.now_us()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn time_never_goes_backwards(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        n in 1usize..30,
+    ) {
+        let mut sim = Simulator::new(seed);
+        let (a, b) = sim.link(profile);
+        for i in 0..n {
+            if i % 2 == 0 {
+                sim.send(a, vec![1]);
+            } else {
+                sim.send(b, vec![2]);
+            }
+        }
+        let mut last = sim.now_us();
+        while let Some(t) = sim.step() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn delivery_no_earlier_than_latency(profile in arb_profile(), seed in any::<u64>()) {
+        let mut sim = Simulator::new(seed);
+        let (a, _b) = sim.link(profile);
+        sim.send(a, vec![0u8; 32]);
+        sim.run_until_idle();
+        let min = profile.latency_us + profile.tx_time_us(32);
+        prop_assert!(sim.now_us() >= min, "{} < {}", sim.now_us(), min);
+    }
+
+    #[test]
+    fn bidirectional_links_isolate_directions(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        na in 0usize..10,
+        nb in 0usize..10,
+    ) {
+        let mut sim = Simulator::new(seed);
+        let (a, b) = sim.link(profile);
+        for _ in 0..na {
+            sim.send(a, vec![b'a']);
+        }
+        for _ in 0..nb {
+            sim.send(b, vec![b'b']);
+        }
+        sim.run_until_idle();
+        let at_b: Vec<_> = std::iter::from_fn(|| sim.recv(b)).collect();
+        let at_a: Vec<_> = std::iter::from_fn(|| sim.recv(a)).collect();
+        prop_assert_eq!(at_b.len(), na);
+        prop_assert_eq!(at_a.len(), nb);
+        prop_assert!(at_b.iter().all(|m| m == &vec![b'a']));
+        prop_assert!(at_a.iter().all(|m| m == &vec![b'b']));
+    }
+}

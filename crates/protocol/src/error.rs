@@ -1,0 +1,86 @@
+//! Protocol error type.
+
+/// Errors produced while encoding or decoding the universal interaction
+/// protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The buffer ended before a complete message was available. Callers
+    /// feeding a stream should read more bytes and retry.
+    Truncated {
+        /// How many more bytes are known to be required (lower bound).
+        needed: usize,
+    },
+    /// A structurally invalid message (bad tag, inconsistent lengths...).
+    Malformed(String),
+    /// The peer requested a protocol version this implementation cannot
+    /// speak.
+    UnsupportedVersion {
+        /// Version requested by the peer.
+        requested: u16,
+        /// Highest version this implementation supports.
+        supported: u16,
+    },
+    /// An unknown message type tag.
+    UnknownMessage(u8),
+    /// An unknown or unsupported rectangle encoding tag.
+    UnknownEncoding(u8),
+    /// An unknown pixel-format identifier.
+    UnknownPixelFormat(u8),
+    /// A rectangle larger than the sanity limit (guards decoders against
+    /// hostile length fields).
+    OversizedRect {
+        /// The offending area in pixels.
+        area: u64,
+    },
+}
+
+impl core::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtocolError::Truncated { needed } => {
+                write!(f, "message truncated, need at least {needed} more bytes")
+            }
+            ProtocolError::Malformed(why) => write!(f, "malformed message: {why}"),
+            ProtocolError::UnsupportedVersion {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "unsupported protocol version {requested} (this side speaks up to {supported})"
+            ),
+            ProtocolError::UnknownMessage(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            ProtocolError::UnknownEncoding(tag) => write!(f, "unknown encoding tag {tag:#04x}"),
+            ProtocolError::UnknownPixelFormat(id) => {
+                write!(f, "unknown pixel format id {id:#04x}")
+            }
+            ProtocolError::OversizedRect { area } => {
+                write!(f, "rectangle of {area} pixels exceeds sanity limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Convenience result alias for protocol operations.
+pub type Result<T> = core::result::Result<T, ProtocolError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ProtocolError::Truncated { needed: 4 };
+        assert!(e.to_string().contains("4"));
+        let e = ProtocolError::UnknownMessage(0xAB);
+        assert!(e.to_string().contains("0xab"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

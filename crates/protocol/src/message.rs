@@ -1,0 +1,554 @@
+//! The universal interaction protocol message vocabulary and framing.
+//!
+//! Every message is framed as `[u32 body_len][body]` where the body starts
+//! with a one-byte tag. Length-prefixed framing keeps stream reassembly
+//! trivial for transports that deliver arbitrary byte chunks.
+//!
+//! The vocabulary deliberately mirrors a classic thin-client protocol:
+//! the *client* (UniInt proxy) sends pixel-format/encoding preferences,
+//! update requests and input events; the *server* (UniInt server) sends
+//! framebuffer updates, bell, clipboard and resize notifications.
+
+use crate::encoding::Encoding;
+use crate::error::{ProtocolError, Result};
+use crate::input::{ButtonMask, InputEvent, KeySym};
+use crate::wire;
+use bytes::{Buf, BufMut, BytesMut};
+use uniint_raster::geom::Rect;
+use uniint_raster::pixel::PixelFormat;
+
+/// Highest protocol version this implementation speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Maximum accepted message body (8 MiB), a guard against hostile frames.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// One encoded rectangle inside a framebuffer update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RectUpdate {
+    /// Destination rectangle in the server framebuffer.
+    pub rect: Rect,
+    /// Encoding of `payload`.
+    pub encoding: Encoding,
+    /// Encoding-specific bytes (see [`crate::encoding`]).
+    pub payload: Vec<u8>,
+}
+
+/// Messages sent by the UniInt proxy (protocol client) to the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMessage {
+    /// Opens a session; the first message on the wire.
+    Hello {
+        /// Protocol version spoken by the client.
+        version: u16,
+        /// Human-readable client identification.
+        name: String,
+    },
+    /// Selects the pixel format for subsequent updates.
+    SetPixelFormat(PixelFormat),
+    /// Declares the encodings the client can decode, in preference order.
+    SetEncodings(Vec<Encoding>),
+    /// Asks for an update of `rect`; `incremental` means "only what
+    /// changed since my last update".
+    UpdateRequest {
+        /// Only send damage since the last update when true.
+        incremental: bool,
+        /// Area of interest.
+        rect: Rect,
+    },
+    /// A universal input event (key or pointer).
+    Input(InputEvent),
+    /// Client-side clipboard content.
+    CutText(String),
+}
+
+/// Messages sent by the UniInt server to the proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerMessage {
+    /// Session acceptance: geometry, native pixel format and desktop name.
+    Init {
+        /// Negotiated protocol version.
+        version: u16,
+        /// Framebuffer width in pixels.
+        width: u16,
+        /// Framebuffer height in pixels.
+        height: u16,
+        /// The server's native pixel format.
+        format: PixelFormat,
+        /// Desktop/application name.
+        name: String,
+    },
+    /// A batch of encoded rectangles, all encoded in `format`.
+    ///
+    /// Carrying the format per update (instead of RFB's implicit "current
+    /// format" convention) makes mid-session `SetPixelFormat` switches
+    /// race-free: updates already in flight decode with the format they
+    /// were encoded in.
+    Update {
+        /// Pixel format of every rectangle payload in this update.
+        format: PixelFormat,
+        /// The encoded rectangles.
+        rects: Vec<RectUpdate>,
+    },
+    /// Ring the terminal bell (appliance beep).
+    Bell,
+    /// Server-side clipboard content.
+    CutText(String),
+    /// The server framebuffer changed size (e.g. panel recomposition).
+    Resize {
+        /// New width.
+        width: u16,
+        /// New height.
+        height: u16,
+    },
+}
+
+const CT_HELLO: u8 = 0;
+const CT_SET_PIXEL_FORMAT: u8 = 1;
+const CT_SET_ENCODINGS: u8 = 2;
+const CT_UPDATE_REQUEST: u8 = 3;
+const CT_KEY: u8 = 4;
+const CT_POINTER: u8 = 5;
+const CT_CUT_TEXT: u8 = 6;
+
+const ST_INIT: u8 = 0x80;
+const ST_UPDATE: u8 = 0x81;
+const ST_BELL: u8 = 0x82;
+const ST_CUT_TEXT: u8 = 0x83;
+const ST_RESIZE: u8 = 0x84;
+
+fn put_rect(buf: &mut impl BufMut, r: Rect) {
+    buf.put_u16(r.x.max(0) as u16);
+    buf.put_u16(r.y.max(0) as u16);
+    buf.put_u16(r.w.min(u16::MAX as u32) as u16);
+    buf.put_u16(r.h.min(u16::MAX as u32) as u16);
+}
+
+fn get_rect(buf: &mut impl Buf) -> Result<Rect> {
+    let x = wire::get_u16(buf)? as i32;
+    let y = wire::get_u16(buf)? as i32;
+    let w = wire::get_u16(buf)? as u32;
+    let h = wire::get_u16(buf)? as u32;
+    Ok(Rect::new(x, y, w, h))
+}
+
+impl ClientMessage {
+    /// Appends the framed message to `out`.
+    pub fn encode(&self, out: &mut BytesMut) {
+        let mut body = BytesMut::new();
+        match self {
+            ClientMessage::Hello { version, name } => {
+                body.put_u8(CT_HELLO);
+                body.put_u16(*version);
+                wire::put_string(&mut body, name);
+            }
+            ClientMessage::SetPixelFormat(f) => {
+                body.put_u8(CT_SET_PIXEL_FORMAT);
+                body.put_u8(f.wire_id());
+            }
+            ClientMessage::SetEncodings(encs) => {
+                body.put_u8(CT_SET_ENCODINGS);
+                body.put_u8(encs.len() as u8);
+                for e in encs {
+                    body.put_u8(e.wire_id());
+                }
+            }
+            ClientMessage::UpdateRequest { incremental, rect } => {
+                body.put_u8(CT_UPDATE_REQUEST);
+                body.put_u8(u8::from(*incremental));
+                put_rect(&mut body, *rect);
+            }
+            ClientMessage::Input(InputEvent::Key { down, sym }) => {
+                body.put_u8(CT_KEY);
+                body.put_u8(u8::from(*down));
+                body.put_u32(sym.0);
+            }
+            ClientMessage::Input(InputEvent::Pointer { x, y, buttons }) => {
+                body.put_u8(CT_POINTER);
+                body.put_u8(buttons.0);
+                body.put_u16(*x);
+                body.put_u16(*y);
+            }
+            ClientMessage::CutText(text) => {
+                body.put_u8(CT_CUT_TEXT);
+                wire::put_string(&mut body, text);
+            }
+        }
+        out.put_u32(body.len() as u32);
+        out.extend_from_slice(&body);
+    }
+
+    /// Decodes one message body (without the length prefix).
+    pub fn decode_body(buf: &mut impl Buf) -> Result<ClientMessage> {
+        let tag = wire::get_u8(buf)?;
+        match tag {
+            CT_HELLO => Ok(ClientMessage::Hello {
+                version: wire::get_u16(buf)?,
+                name: wire::get_string(buf)?,
+            }),
+            CT_SET_PIXEL_FORMAT => {
+                let id = wire::get_u8(buf)?;
+                PixelFormat::from_wire_id(id)
+                    .map(ClientMessage::SetPixelFormat)
+                    .ok_or(ProtocolError::UnknownPixelFormat(id))
+            }
+            CT_SET_ENCODINGS => {
+                let n = wire::get_u8(buf)? as usize;
+                let mut encs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = wire::get_u8(buf)?;
+                    encs.push(
+                        Encoding::from_wire_id(id).ok_or(ProtocolError::UnknownEncoding(id))?,
+                    );
+                }
+                Ok(ClientMessage::SetEncodings(encs))
+            }
+            CT_UPDATE_REQUEST => Ok(ClientMessage::UpdateRequest {
+                incremental: wire::get_bool(buf)?,
+                rect: get_rect(buf)?,
+            }),
+            CT_KEY => Ok(ClientMessage::Input(InputEvent::Key {
+                down: wire::get_bool(buf)?,
+                sym: KeySym(wire::get_u32(buf)?),
+            })),
+            CT_POINTER => {
+                let buttons = ButtonMask(wire::get_u8(buf)?);
+                let x = wire::get_u16(buf)?;
+                let y = wire::get_u16(buf)?;
+                Ok(ClientMessage::Input(InputEvent::Pointer { x, y, buttons }))
+            }
+            CT_CUT_TEXT => Ok(ClientMessage::CutText(wire::get_string(buf)?)),
+            other => Err(ProtocolError::UnknownMessage(other)),
+        }
+    }
+}
+
+impl ServerMessage {
+    /// Appends the framed message to `out`.
+    pub fn encode(&self, out: &mut BytesMut) {
+        let mut body = BytesMut::new();
+        match self {
+            ServerMessage::Init {
+                version,
+                width,
+                height,
+                format,
+                name,
+            } => {
+                body.put_u8(ST_INIT);
+                body.put_u16(*version);
+                body.put_u16(*width);
+                body.put_u16(*height);
+                body.put_u8(format.wire_id());
+                wire::put_string(&mut body, name);
+            }
+            ServerMessage::Update { format, rects } => {
+                body.put_u8(ST_UPDATE);
+                body.put_u8(format.wire_id());
+                body.put_u16(rects.len() as u16);
+                for r in rects {
+                    put_rect(&mut body, r.rect);
+                    body.put_u8(r.encoding.wire_id());
+                    body.put_u32(r.payload.len() as u32);
+                    body.extend_from_slice(&r.payload);
+                }
+            }
+            ServerMessage::Bell => body.put_u8(ST_BELL),
+            ServerMessage::CutText(text) => {
+                body.put_u8(ST_CUT_TEXT);
+                wire::put_string(&mut body, text);
+            }
+            ServerMessage::Resize { width, height } => {
+                body.put_u8(ST_RESIZE);
+                body.put_u16(*width);
+                body.put_u16(*height);
+            }
+        }
+        out.put_u32(body.len() as u32);
+        out.extend_from_slice(&body);
+    }
+
+    /// Decodes one message body (without the length prefix).
+    pub fn decode_body(buf: &mut impl Buf) -> Result<ServerMessage> {
+        let tag = wire::get_u8(buf)?;
+        match tag {
+            ST_INIT => {
+                let version = wire::get_u16(buf)?;
+                let width = wire::get_u16(buf)?;
+                let height = wire::get_u16(buf)?;
+                let fid = wire::get_u8(buf)?;
+                let format =
+                    PixelFormat::from_wire_id(fid).ok_or(ProtocolError::UnknownPixelFormat(fid))?;
+                let name = wire::get_string(buf)?;
+                Ok(ServerMessage::Init {
+                    version,
+                    width,
+                    height,
+                    format,
+                    name,
+                })
+            }
+            ST_UPDATE => {
+                let fid = wire::get_u8(buf)?;
+                let format =
+                    PixelFormat::from_wire_id(fid).ok_or(ProtocolError::UnknownPixelFormat(fid))?;
+                let n = wire::get_u16(buf)? as usize;
+                let mut rects = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let rect = get_rect(buf)?;
+                    let eid = wire::get_u8(buf)?;
+                    let encoding =
+                        Encoding::from_wire_id(eid).ok_or(ProtocolError::UnknownEncoding(eid))?;
+                    let len = wire::get_u32(buf)? as usize;
+                    if len > MAX_BODY {
+                        return Err(ProtocolError::Malformed(format!(
+                            "rect payload of {len} bytes"
+                        )));
+                    }
+                    let payload = wire::get_bytes(buf, len)?;
+                    rects.push(RectUpdate {
+                        rect,
+                        encoding,
+                        payload,
+                    });
+                }
+                Ok(ServerMessage::Update { format, rects })
+            }
+            ST_BELL => Ok(ServerMessage::Bell),
+            ST_CUT_TEXT => Ok(ServerMessage::CutText(wire::get_string(buf)?)),
+            ST_RESIZE => Ok(ServerMessage::Resize {
+                width: wire::get_u16(buf)?,
+                height: wire::get_u16(buf)?,
+            }),
+            other => Err(ProtocolError::UnknownMessage(other)),
+        }
+    }
+}
+
+/// Incremental stream decoder: feed byte chunks, pull whole messages.
+///
+/// ```
+/// use bytes::BytesMut;
+/// use uniint_protocol::message::{ClientMessage, FrameReader};
+/// let mut wire_bytes = BytesMut::new();
+/// ClientMessage::CutText("hi".into()).encode(&mut wire_bytes);
+/// let mut reader = FrameReader::new();
+/// reader.feed(&wire_bytes);
+/// let frame = reader.next_frame().unwrap().expect("complete frame");
+/// let msg = ClientMessage::decode_body(&mut frame.as_slice()).unwrap();
+/// assert_eq!(msg, ClientMessage::CutText("hi".into()));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: BytesMut,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete frame body, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Malformed`] if a frame advertises a body
+    /// larger than [`MAX_BODY`]; the stream is unrecoverable after that.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_BODY {
+            return Err(ProtocolError::Malformed(format!(
+                "frame body of {len} bytes exceeds {MAX_BODY}"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let body = self.buf.split_to(len);
+        Ok(Some(body.to_vec()))
+    }
+}
+
+/// Encodes any client message to a standalone byte vector.
+pub fn encode_client(msg: &ClientMessage) -> Vec<u8> {
+    let mut out = BytesMut::new();
+    msg.encode(&mut out);
+    out.to_vec()
+}
+
+/// Encodes any server message to a standalone byte vector.
+pub fn encode_server(msg: &ServerMessage) -> Vec<u8> {
+    let mut out = BytesMut::new();
+    msg.encode(&mut out);
+    out.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_roundtrip(msg: ClientMessage) {
+        let bytes = encode_client(&msg);
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        let frame = reader.next_frame().unwrap().expect("frame");
+        let got = ClientMessage::decode_body(&mut frame.as_slice()).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    fn server_roundtrip(msg: ServerMessage) {
+        let bytes = encode_server(&msg);
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        let frame = reader.next_frame().unwrap().expect("frame");
+        let got = ServerMessage::decode_body(&mut frame.as_slice()).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        client_roundtrip(ClientMessage::Hello {
+            version: 1,
+            name: "pda-proxy".into(),
+        });
+        client_roundtrip(ClientMessage::SetPixelFormat(PixelFormat::Gray4));
+        client_roundtrip(ClientMessage::SetEncodings(Encoding::ALL.to_vec()));
+        client_roundtrip(ClientMessage::UpdateRequest {
+            incremental: true,
+            rect: Rect::new(10, 20, 300, 200),
+        });
+        client_roundtrip(ClientMessage::Input(InputEvent::Key {
+            down: true,
+            sym: KeySym::RETURN,
+        }));
+        client_roundtrip(ClientMessage::Input(InputEvent::Pointer {
+            x: 100,
+            y: 200,
+            buttons: ButtonMask::LEFT | ButtonMask::RIGHT,
+        }));
+        client_roundtrip(ClientMessage::CutText("クリップボード".into()));
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        server_roundtrip(ServerMessage::Init {
+            version: 1,
+            width: 640,
+            height: 480,
+            format: PixelFormat::Rgb888,
+            name: "TV Control".into(),
+        });
+        server_roundtrip(ServerMessage::Update {
+            format: PixelFormat::Gray4,
+            rects: vec![
+                RectUpdate {
+                    rect: Rect::new(0, 0, 10, 10),
+                    encoding: Encoding::Raw,
+                    payload: vec![1, 2, 3],
+                },
+                RectUpdate {
+                    rect: Rect::new(5, 5, 1, 1),
+                    encoding: Encoding::Rre,
+                    payload: vec![],
+                },
+            ],
+        });
+        server_roundtrip(ServerMessage::Bell);
+        server_roundtrip(ServerMessage::CutText("s".into()));
+        server_roundtrip(ServerMessage::Resize {
+            width: 320,
+            height: 240,
+        });
+    }
+
+    #[test]
+    fn frame_reader_handles_fragmentation() {
+        let msg = ClientMessage::CutText("fragmented".into());
+        let bytes = encode_client(&msg);
+        let mut reader = FrameReader::new();
+        for chunk in bytes.chunks(3) {
+            reader.feed(chunk);
+        }
+        let frame = reader
+            .next_frame()
+            .unwrap()
+            .expect("frame after all chunks");
+        let got = ClientMessage::decode_body(&mut frame.as_slice()).unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(reader.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frame_reader_handles_coalescing() {
+        let mut bytes = Vec::new();
+        bytes.extend(encode_client(&ClientMessage::Input(InputEvent::Key {
+            down: true,
+            sym: 'a'.into(),
+        })));
+        bytes.extend(encode_client(&ClientMessage::Input(InputEvent::Key {
+            down: false,
+            sym: 'a'.into(),
+        })));
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        assert!(reader.next_frame().unwrap().is_some());
+        assert!(reader.next_frame().unwrap().is_some());
+        assert!(reader.next_frame().unwrap().is_none());
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_length_bomb_rejected() {
+        let mut reader = FrameReader::new();
+        reader.feed(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            reader.next_frame(),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut body: &[u8] = &[0x7f];
+        assert!(matches!(
+            ClientMessage::decode_body(&mut body),
+            Err(ProtocolError::UnknownMessage(0x7f))
+        ));
+        let mut body: &[u8] = &[0xff];
+        assert!(matches!(
+            ServerMessage::decode_body(&mut body),
+            Err(ProtocolError::UnknownMessage(0xff))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_error_not_panic() {
+        let msg = ServerMessage::Init {
+            version: 1,
+            width: 640,
+            height: 480,
+            format: PixelFormat::Rgb888,
+            name: "x".into(),
+        };
+        let bytes = encode_server(&msg);
+        // Strip the framing and cut the body short.
+        let body = &bytes[4..bytes.len() - 1];
+        let mut cursor: &[u8] = body;
+        assert!(ServerMessage::decode_body(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Checked big-endian wire primitives over `bytes::Buf`.
+//!
+//! `bytes::Buf`'s own getters panic on underflow; these helpers return
+//! [`ProtocolError::Truncated`] instead so a hostile or fragmented stream
+//! can never panic the decoder.
+
+use crate::error::{ProtocolError, Result};
+use bytes::{Buf, BufMut};
+
+/// Maximum length accepted for a counted string/blob on the wire (1 MiB).
+pub const MAX_BLOB: usize = 1 << 20;
+
+/// Reads one byte.
+pub fn get_u8(buf: &mut impl Buf) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(ProtocolError::Truncated { needed: 1 });
+    }
+    Ok(buf.get_u8())
+}
+
+/// Reads a big-endian u16.
+pub fn get_u16(buf: &mut impl Buf) -> Result<u16> {
+    if buf.remaining() < 2 {
+        return Err(ProtocolError::Truncated {
+            needed: 2 - buf.remaining(),
+        });
+    }
+    Ok(buf.get_u16())
+}
+
+/// Reads a big-endian u32.
+pub fn get_u32(buf: &mut impl Buf) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(ProtocolError::Truncated {
+            needed: 4 - buf.remaining(),
+        });
+    }
+    Ok(buf.get_u32())
+}
+
+/// Reads a big-endian i32.
+pub fn get_i32(buf: &mut impl Buf) -> Result<i32> {
+    Ok(get_u32(buf)? as i32)
+}
+
+/// Reads exactly `n` bytes.
+pub fn get_bytes(buf: &mut impl Buf, n: usize) -> Result<Vec<u8>> {
+    if buf.remaining() < n {
+        return Err(ProtocolError::Truncated {
+            needed: n - buf.remaining(),
+        });
+    }
+    let mut out = vec![0u8; n];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Reads a u32-counted UTF-8 string (lossy for invalid sequences).
+pub fn get_string(buf: &mut impl Buf) -> Result<String> {
+    let len = get_u32(buf)? as usize;
+    if len > MAX_BLOB {
+        return Err(ProtocolError::Malformed(format!(
+            "string length {len} exceeds {MAX_BLOB}"
+        )));
+    }
+    let raw = get_bytes(buf, len)?;
+    Ok(String::from_utf8_lossy(&raw).into_owned())
+}
+
+/// Writes a u32-counted UTF-8 string.
+pub fn put_string(buf: &mut impl BufMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a bool encoded as one byte (0 = false, anything else = true).
+pub fn get_bool(buf: &mut impl Buf) -> Result<bool> {
+    Ok(get_u8(buf)? != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn get_on_empty_is_truncated() {
+        let mut b: &[u8] = &[];
+        assert!(matches!(
+            get_u8(&mut b),
+            Err(ProtocolError::Truncated { .. })
+        ));
+        let mut b: &[u8] = &[1];
+        assert!(matches!(
+            get_u32(&mut b),
+            Err(ProtocolError::Truncated { needed: 3 })
+        ));
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, "héllo");
+        let mut rd = buf.freeze();
+        assert_eq!(get_string(&mut rd).unwrap(), "héllo");
+    }
+
+    #[test]
+    fn string_length_bomb_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        let mut rd = buf.freeze();
+        assert!(matches!(
+            get_string(&mut rd),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn get_bytes_exact() {
+        let mut b: &[u8] = &[1, 2, 3];
+        assert_eq!(get_bytes(&mut b, 2).unwrap(), vec![1, 2]);
+        assert_eq!(get_u8(&mut b).unwrap(), 3);
+    }
+
+    #[test]
+    fn bool_decoding() {
+        let mut b: &[u8] = &[0, 1, 7];
+        assert!(!get_bool(&mut b).unwrap());
+        assert!(get_bool(&mut b).unwrap());
+        assert!(get_bool(&mut b).unwrap());
+    }
+}

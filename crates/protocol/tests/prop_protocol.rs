@@ -1,0 +1,195 @@
+//! Property tests: every encoding round-trips arbitrary images; arbitrary
+//! messages survive encode→frame→decode; and the decoders never panic on
+//! arbitrary bytes (robustness against hostile/corrupt streams).
+
+use proptest::prelude::*;
+use uniint_protocol::encoding::{decode_rect, encode_rect, DecodedRect, Encoding};
+use uniint_protocol::input::{ButtonMask, InputEvent, KeySym};
+use uniint_protocol::message::{
+    encode_client, encode_server, ClientMessage, FrameReader, RectUpdate, ServerMessage,
+};
+use uniint_raster::color::Color;
+use uniint_raster::geom::Rect;
+use uniint_raster::pixel::PixelFormat;
+
+fn arb_color() -> impl Strategy<Value = Color> {
+    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b)| Color::rgb(r, g, b))
+}
+
+/// Low-cardinality colors make RRE/Hextile take their interesting paths.
+fn arb_gui_color() -> impl Strategy<Value = Color> {
+    prop_oneof![
+        Just(Color::LIGHT_GRAY),
+        Just(Color::BLACK),
+        Just(Color::WHITE),
+        Just(Color::BLUE),
+        arb_color(),
+    ]
+}
+
+fn arb_image() -> impl Strategy<Value = (Rect, Vec<Color>)> {
+    (1u32..50, 1u32..40).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(arb_gui_color(), (w * h) as usize)
+            .prop_map(move |px| (Rect::new(0, 0, w, h), px))
+    })
+}
+
+fn arb_input() -> impl Strategy<Value = InputEvent> {
+    prop_oneof![
+        (any::<bool>(), any::<u32>()).prop_map(|(down, s)| InputEvent::Key {
+            down,
+            sym: KeySym(s)
+        }),
+        (any::<u16>(), any::<u16>(), any::<u8>()).prop_map(|(x, y, b)| InputEvent::Pointer {
+            x,
+            y,
+            buttons: ButtonMask(b)
+        }),
+    ]
+}
+
+fn arb_client_message() -> impl Strategy<Value = ClientMessage> {
+    prop_oneof![
+        (any::<u16>(), ".{0,32}")
+            .prop_map(|(version, name)| ClientMessage::Hello { version, name }),
+        proptest::sample::select(PixelFormat::ALL.to_vec()).prop_map(ClientMessage::SetPixelFormat),
+        proptest::collection::vec(proptest::sample::select(Encoding::ALL.to_vec()), 0..5)
+            .prop_map(ClientMessage::SetEncodings),
+        (
+            any::<bool>(),
+            0u16..1000,
+            0u16..1000,
+            0u32..2000,
+            0u32..2000
+        )
+            .prop_map(|(inc, x, y, w, h)| ClientMessage::UpdateRequest {
+                incremental: inc,
+                rect: Rect::new(x as i32, y as i32, w, h),
+            }),
+        arb_input().prop_map(ClientMessage::Input),
+        ".{0,64}".prop_map(ClientMessage::CutText),
+    ]
+}
+
+fn arb_server_message() -> impl Strategy<Value = ServerMessage> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>(), any::<u16>(), ".{0,32}").prop_map(|(v, w, h, name)| {
+            ServerMessage::Init {
+                version: v,
+                width: w,
+                height: h,
+                format: PixelFormat::Rgb565,
+                name,
+            }
+        }),
+        proptest::collection::vec(
+            (
+                0u16..500,
+                0u16..500,
+                1u32..64,
+                1u32..64,
+                proptest::collection::vec(any::<u8>(), 0..64)
+            )
+                .prop_map(|(x, y, w, h, payload)| RectUpdate {
+                    rect: Rect::new(x as i32, y as i32, w, h),
+                    encoding: Encoding::Raw,
+                    payload,
+                }),
+            0..4
+        )
+        .prop_map(|rects| ServerMessage::Update {
+            format: PixelFormat::Rgb888,
+            rects
+        }),
+        Just(ServerMessage::Bell),
+        ".{0,64}".prop_map(ServerMessage::CutText),
+        (any::<u16>(), any::<u16>())
+            .prop_map(|(width, height)| ServerMessage::Resize { width, height }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encodings_roundtrip_arbitrary_images((rect, px) in arb_image()) {
+        for enc in [Encoding::Raw, Encoding::Rre, Encoding::Hextile, Encoding::Rle, Encoding::PaletteRle] {
+            for fmt in [PixelFormat::Rgb888, PixelFormat::Rgb565, PixelFormat::Gray4, PixelFormat::Mono1] {
+                let reduced: Vec<Color> = px.iter().map(|&c| fmt.reduce(c)).collect();
+                let bytes = encode_rect(&reduced, rect, enc, fmt);
+                let mut cursor: &[u8] = &bytes;
+                match decode_rect(&mut cursor, rect, enc, fmt) {
+                    Ok(DecodedRect::Pixels(out)) => {
+                        prop_assert_eq!(&out, &reduced, "{}/{}", enc, fmt);
+                        prop_assert!(cursor.is_empty(), "{}/{} trailing bytes", enc, fmt);
+                    }
+                    other => return Err(TestCaseError::fail(format!("{enc}/{fmt}: {other:?}"))),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn client_messages_roundtrip(msg in arb_client_message()) {
+        let bytes = encode_client(&msg);
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        let frame = reader.next_frame().unwrap().expect("complete frame");
+        let got = ClientMessage::decode_body(&mut frame.as_slice()).unwrap();
+        prop_assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn server_messages_roundtrip(msg in arb_server_message()) {
+        let bytes = encode_server(&msg);
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        let frame = reader.next_frame().unwrap().expect("complete frame");
+        let got = ServerMessage::decode_body(&mut frame.as_slice()).unwrap();
+        prop_assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn fragmentation_is_transparent(msg in arb_client_message(), cut in 1usize..16) {
+        let bytes = encode_client(&msg);
+        let mut reader = FrameReader::new();
+        for chunk in bytes.chunks(cut) {
+            reader.feed(chunk);
+        }
+        let frame = reader.next_frame().unwrap().expect("complete frame");
+        let got = ClientMessage::decode_body(&mut frame.as_slice()).unwrap();
+        prop_assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ClientMessage::decode_body(&mut bytes.as_slice());
+        let _ = ServerMessage::decode_body(&mut bytes.as_slice());
+        let rect = Rect::new(0, 0, 16, 16);
+        for enc in Encoding::ALL {
+            for fmt in [PixelFormat::Rgb888, PixelFormat::Mono1] {
+                let _ = decode_rect(&mut bytes.as_slice(), rect, enc, fmt);
+            }
+        }
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        while let Ok(Some(frame)) = reader.next_frame() {
+            let _ = ClientMessage::decode_body(&mut frame.as_slice());
+        }
+    }
+
+    #[test]
+    fn truncated_encodings_error_not_panic((rect, px) in arb_image(), keep_frac in 0.0f64..1.0) {
+        for enc in [Encoding::Raw, Encoding::Rre, Encoding::Hextile, Encoding::Rle, Encoding::PaletteRle] {
+            let bytes = encode_rect(&px, rect, enc, PixelFormat::Rgb888);
+            let keep = ((bytes.len() as f64) * keep_frac) as usize;
+            if keep == bytes.len() {
+                continue;
+            }
+            let mut cursor: &[u8] = &bytes[..keep];
+            // Either a clean error, or (for prefix-complete encodings such
+            // as RLE with zero runs) a decode that must not panic.
+            let _ = decode_rect(&mut cursor, rect, enc, PixelFormat::Rgb888);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Color quantization and dithering.
+//!
+//! Shallow output devices (4-bit PDA panels, 1-bit phone LCDs) cannot show
+//! 24-bit pixels; the UniInt output plug-ins quantize frames to the device
+//! palette, optionally with error-diffusion or ordered dithering so GUI
+//! gradients and images stay legible.
+
+use crate::color::{Color, Palette};
+use crate::framebuffer::Framebuffer;
+use crate::pixel::PixelFormat;
+use serde::{Deserialize, Serialize};
+
+/// Dithering algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DitherMode {
+    /// Straight nearest-color quantization.
+    #[default]
+    None,
+    /// Floyd–Steinberg error diffusion (serpentine-free, row major).
+    FloydSteinberg,
+    /// Ordered dithering with a 4×4 Bayer matrix.
+    Ordered4x4,
+}
+
+impl core::fmt::Display for DitherMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            DitherMode::None => "none",
+            DitherMode::FloydSteinberg => "floyd-steinberg",
+            DitherMode::Ordered4x4 => "ordered4x4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// 4×4 Bayer threshold matrix, values `0..16`.
+const BAYER4: [[i32; 4]; 4] = [[0, 8, 2, 10], [12, 4, 14, 6], [3, 11, 1, 9], [15, 7, 13, 5]];
+
+/// Quantizes every pixel of `src` to `palette`, applying `mode`.
+/// Returns a new framebuffer whose pixels are all palette colors.
+pub fn dither_to_palette(src: &Framebuffer, palette: &Palette, mode: DitherMode) -> Framebuffer {
+    let w = src.width() as usize;
+    let h = src.height() as usize;
+    let mut out = Framebuffer::new(src.width(), src.height(), Color::BLACK);
+    let mut result = Vec::with_capacity(w * h);
+    match mode {
+        DitherMode::None => {
+            for &p in src.pixels() {
+                result.push(palette.quantize(p));
+            }
+        }
+        DitherMode::Ordered4x4 => {
+            // Bias amplitude scaled to the palette's average quantization
+            // step so 2-color and 256-color palettes both dither sensibly.
+            let amp = (256 / (palette.len().min(64)) as i32).max(8);
+            for y in 0..h {
+                let row = src.row(y as u32);
+                for (x, &p) in row.iter().enumerate() {
+                    let t = BAYER4[y % 4][x % 4] - 8; // -8..8
+                    let bias = t * amp / 8;
+                    let adj = Color::rgb(
+                        (p.r as i32 + bias).clamp(0, 255) as u8,
+                        (p.g as i32 + bias).clamp(0, 255) as u8,
+                        (p.b as i32 + bias).clamp(0, 255) as u8,
+                    );
+                    result.push(palette.quantize(adj));
+                }
+            }
+        }
+        DitherMode::FloydSteinberg => {
+            // Per-channel error buffers for the current and next row.
+            let mut err_cur = vec![[0i32; 3]; w + 2];
+            let mut err_next = vec![[0i32; 3]; w + 2];
+            for y in 0..h {
+                let row = src.row(y as u32);
+                for x in 0..w {
+                    let e = err_cur[x + 1];
+                    let p = row[x];
+                    let adj = Color::rgb(
+                        (p.r as i32 + e[0] / 16).clamp(0, 255) as u8,
+                        (p.g as i32 + e[1] / 16).clamp(0, 255) as u8,
+                        (p.b as i32 + e[2] / 16).clamp(0, 255) as u8,
+                    );
+                    let q = palette.quantize(adj);
+                    result.push(q);
+                    let err = [
+                        adj.r as i32 - q.r as i32,
+                        adj.g as i32 - q.g as i32,
+                        adj.b as i32 - q.b as i32,
+                    ];
+                    for ch in 0..3 {
+                        err_cur[x + 2][ch] += err[ch] * 7;
+                        err_next[x][ch] += err[ch] * 3;
+                        err_next[x + 1][ch] += err[ch] * 5;
+                        err_next[x + 2][ch] += err[ch];
+                    }
+                }
+                core::mem::swap(&mut err_cur, &mut err_next);
+                err_next.iter_mut().for_each(|e| *e = [0; 3]);
+            }
+        }
+    }
+    out.write_rect(out.bounds(), &result);
+    out
+}
+
+/// Reduces every pixel of `src` to what `format` can represent, dithering
+/// with `mode`. True-color formats quantize channel-wise; palette-ish
+/// formats (`Gray4`, `Mono1`, `Indexed8`) go through an explicit palette.
+pub fn dither_to_format(src: &Framebuffer, format: PixelFormat, mode: DitherMode) -> Framebuffer {
+    match format {
+        PixelFormat::Mono1 => dither_to_palette(src, &Palette::mono(), mode),
+        PixelFormat::Gray4 => dither_to_palette(src, &Palette::grayscale(16), mode),
+        PixelFormat::Indexed8 => dither_to_palette(src, &Palette::websafe(), mode),
+        PixelFormat::Gray8 => dither_to_palette(src, &Palette::grayscale(256), mode),
+        PixelFormat::Rgb888 => src.clone(),
+        PixelFormat::Rgb565 | PixelFormat::Rgb444 => {
+            // Channel-wise reduction; error diffusion is overkill for >=12bpp
+            // GUI content, so only ordered/none modes perturb here.
+            let mut out = Framebuffer::new(src.width(), src.height(), Color::BLACK);
+            let w = src.width() as usize;
+            let mut result = Vec::with_capacity(w * src.height() as usize);
+            for (i, &p) in src.pixels().iter().enumerate() {
+                let adj = if mode == DitherMode::Ordered4x4 {
+                    let x = i % w;
+                    let y = i / w;
+                    let t = BAYER4[y % 4][x % 4] - 8;
+                    let bias = if format == PixelFormat::Rgb444 {
+                        t
+                    } else {
+                        t / 2
+                    };
+                    Color::rgb(
+                        (p.r as i32 + bias).clamp(0, 255) as u8,
+                        (p.g as i32 + bias).clamp(0, 255) as u8,
+                        (p.b as i32 + bias).clamp(0, 255) as u8,
+                    )
+                } else {
+                    p
+                };
+                result.push(format.reduce(adj));
+            }
+            out.write_rect(out.bounds(), &result);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect};
+
+    fn gradient(w: u32, h: u32) -> Framebuffer {
+        let mut fb = Framebuffer::new(w, h, Color::BLACK);
+        for y in 0..h as i32 {
+            for x in 0..w as i32 {
+                let v = (x * 255 / (w as i32 - 1).max(1)) as u8;
+                fb.set_pixel(Point::new(x, y), Color::gray(v));
+            }
+        }
+        fb
+    }
+
+    #[test]
+    fn none_mode_outputs_only_palette_colors() {
+        let src = gradient(32, 8);
+        let pal = Palette::grayscale(4);
+        let out = dither_to_palette(&src, &pal, DitherMode::None);
+        for &p in out.pixels() {
+            assert!(pal.colors().contains(&p));
+        }
+    }
+
+    #[test]
+    fn fs_mode_outputs_only_palette_colors() {
+        let src = gradient(32, 8);
+        let pal = Palette::mono();
+        let out = dither_to_palette(&src, &pal, DitherMode::FloydSteinberg);
+        for &p in out.pixels() {
+            assert!(p == Color::BLACK || p == Color::WHITE);
+        }
+    }
+
+    #[test]
+    fn ordered_mode_outputs_only_palette_colors() {
+        let src = gradient(32, 8);
+        let pal = Palette::vga16();
+        let out = dither_to_palette(&src, &pal, DitherMode::Ordered4x4);
+        for &p in out.pixels() {
+            assert!(pal.colors().contains(&p));
+        }
+    }
+
+    #[test]
+    fn dither_preserves_mean_brightness() {
+        // Mid-gray dithered to mono should be ~50% white.
+        let mut src = Framebuffer::new(64, 64, Color::BLACK);
+        src.fill_rect(Rect::new(0, 0, 64, 64), Color::gray(128));
+        for mode in [DitherMode::FloydSteinberg, DitherMode::Ordered4x4] {
+            let out = dither_to_palette(&src, &Palette::mono(), mode);
+            let white = out.pixels().iter().filter(|&&p| p == Color::WHITE).count();
+            let frac = white as f64 / (64.0 * 64.0);
+            assert!(
+                (0.35..=0.65).contains(&frac),
+                "{mode}: expected ~half white, got {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn none_mode_mid_gray_is_uniform() {
+        let mut src = Framebuffer::new(8, 8, Color::BLACK);
+        src.fill_rect(Rect::new(0, 0, 8, 8), Color::gray(128));
+        let out = dither_to_palette(&src, &Palette::mono(), DitherMode::None);
+        let first = out.pixels()[0];
+        assert!(out.pixels().iter().all(|&p| p == first));
+    }
+
+    #[test]
+    fn dither_to_format_rgb888_identity() {
+        let src = gradient(16, 4);
+        let out = dither_to_format(&src, PixelFormat::Rgb888, DitherMode::FloydSteinberg);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn dither_to_format_reduced_is_representable() {
+        let src = gradient(16, 4);
+        for f in [
+            PixelFormat::Rgb565,
+            PixelFormat::Rgb444,
+            PixelFormat::Gray8,
+            PixelFormat::Gray4,
+            PixelFormat::Mono1,
+            PixelFormat::Indexed8,
+        ] {
+            let out = dither_to_format(&src, f, DitherMode::None);
+            for &p in out.pixels() {
+                assert_eq!(f.reduce(p), p, "{f}: {p} not representable");
+            }
+        }
+    }
+
+    #[test]
+    fn black_and_white_are_fixed_points() {
+        let mut src = Framebuffer::new(8, 2, Color::BLACK);
+        src.fill_rect(Rect::new(4, 0, 4, 2), Color::WHITE);
+        for mode in [
+            DitherMode::None,
+            DitherMode::FloydSteinberg,
+            DitherMode::Ordered4x4,
+        ] {
+            let out = dither_to_palette(&src, &Palette::mono(), mode);
+            assert_eq!(out.pixel(Point::new(0, 0)), Some(Color::BLACK), "{mode}");
+            assert_eq!(out.pixel(Point::new(7, 0)), Some(Color::WHITE), "{mode}");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Drawing primitives over a [`Framebuffer`]: lines, rectangles, bevels,
+//! circles and bitmap text. This is the rendering back-end the widget
+//! toolkit uses.
+
+use crate::color::Color;
+use crate::font;
+use crate::framebuffer::Framebuffer;
+use crate::geom::{Point, Rect};
+
+/// A borrowed drawing context with an optional clip rectangle.
+///
+/// ```
+/// use uniint_raster::color::Color;
+/// use uniint_raster::draw::Canvas;
+/// use uniint_raster::framebuffer::Framebuffer;
+/// use uniint_raster::geom::{Point, Rect};
+/// let mut fb = Framebuffer::new(32, 32, Color::BLACK);
+/// let mut canvas = Canvas::new(&mut fb);
+/// canvas.fill_rect(Rect::new(0, 0, 16, 16), Color::RED);
+/// canvas.text(Point::new(1, 20), "ok", Color::WHITE);
+/// ```
+#[derive(Debug)]
+pub struct Canvas<'a> {
+    fb: &'a mut Framebuffer,
+    clip: Rect,
+}
+
+impl<'a> Canvas<'a> {
+    /// Creates a canvas covering the whole framebuffer.
+    pub fn new(fb: &'a mut Framebuffer) -> Canvas<'a> {
+        let clip = fb.bounds();
+        Canvas { fb, clip }
+    }
+
+    /// Creates a canvas restricted to `clip` (intersected with bounds).
+    pub fn with_clip(fb: &'a mut Framebuffer, clip: Rect) -> Canvas<'a> {
+        let clip = clip.intersect(fb.bounds()).unwrap_or(Rect::EMPTY);
+        Canvas { fb, clip }
+    }
+
+    /// The current clip rectangle.
+    pub fn clip(&self) -> Rect {
+        self.clip
+    }
+
+    /// Further restricts the clip for the duration of `f`.
+    pub fn clipped<R>(&mut self, clip: Rect, f: impl FnOnce(&mut Canvas<'_>) -> R) -> R {
+        let inner_clip = self.clip.intersect(clip).unwrap_or(Rect::EMPTY);
+        let mut inner = Canvas {
+            fb: self.fb,
+            clip: inner_clip,
+        };
+        f(&mut inner)
+    }
+
+    /// Sets one pixel, honoring the clip.
+    pub fn pixel(&mut self, p: Point, c: Color) {
+        if self.clip.contains(p) {
+            self.fb.set_pixel(p, c);
+        }
+    }
+
+    /// Fills a rectangle, honoring the clip.
+    pub fn fill_rect(&mut self, rect: Rect, c: Color) {
+        if let Some(r) = rect.intersect(self.clip) {
+            self.fb.fill_rect(r, c);
+        }
+    }
+
+    /// Draws a 1-pixel rectangle outline.
+    pub fn stroke_rect(&mut self, rect: Rect, c: Color) {
+        if rect.is_empty() {
+            return;
+        }
+        self.hline(rect.y, rect.x, rect.right(), c);
+        self.hline(rect.bottom() - 1, rect.x, rect.right(), c);
+        self.vline(rect.x, rect.y, rect.bottom(), c);
+        self.vline(rect.right() - 1, rect.y, rect.bottom(), c);
+    }
+
+    /// Horizontal line on row `y` covering `x0..x1`.
+    pub fn hline(&mut self, y: i32, x0: i32, x1: i32, c: Color) {
+        let (x0, x1) = (x0.min(x1), x0.max(x1));
+        self.fill_rect(Rect::new(x0, y, (x1 - x0) as u32, 1), c);
+    }
+
+    /// Vertical line on column `x` covering `y0..y1`.
+    pub fn vline(&mut self, x: i32, y0: i32, y1: i32, c: Color) {
+        let (y0, y1) = (y0.min(y1), y0.max(y1));
+        self.fill_rect(Rect::new(x, y0, 1, (y1 - y0) as u32), c);
+    }
+
+    /// Bresenham line between two points.
+    pub fn line(&mut self, a: Point, b: Point, c: Color) {
+        let (mut x0, mut y0) = (a.x, a.y);
+        let (x1, y1) = (b.x, b.y);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.pixel(Point::new(x0, y0), c);
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// A classic raised/sunken 3-D bevel around `rect`, as every 2002-era
+    /// toolkit drew buttons. `raised = false` draws the pressed look.
+    pub fn bevel(&mut self, rect: Rect, base: Color, raised: bool) {
+        if rect.is_empty() {
+            return;
+        }
+        let (tl, br) = if raised {
+            (base.lighten(), base.darken())
+        } else {
+            (base.darken(), base.lighten())
+        };
+        self.hline(rect.y, rect.x, rect.right(), tl);
+        self.vline(rect.x, rect.y, rect.bottom(), tl);
+        self.hline(rect.bottom() - 1, rect.x, rect.right(), br);
+        self.vline(rect.right() - 1, rect.y, rect.bottom(), br);
+    }
+
+    /// Midpoint circle outline.
+    pub fn circle(&mut self, center: Point, radius: i32, c: Color) {
+        if radius < 0 {
+            return;
+        }
+        let mut x = radius;
+        let mut y = 0;
+        let mut err = 1 - radius;
+        while x >= y {
+            for (px, py) in [
+                (x, y),
+                (y, x),
+                (-y, x),
+                (-x, y),
+                (-x, -y),
+                (-y, -x),
+                (y, -x),
+                (x, -y),
+            ] {
+                self.pixel(Point::new(center.x + px, center.y + py), c);
+            }
+            y += 1;
+            if err < 0 {
+                err += 2 * y + 1;
+            } else {
+                x -= 1;
+                err += 2 * (y - x) + 1;
+            }
+        }
+    }
+
+    /// Filled circle.
+    pub fn fill_circle(&mut self, center: Point, radius: i32, c: Color) {
+        if radius < 0 {
+            return;
+        }
+        let r2 = (radius as i64) * (radius as i64);
+        for dy in -radius..=radius {
+            let half = ((r2 - (dy as i64 * dy as i64)) as f64).sqrt() as i32;
+            self.hline(center.y + dy, center.x - half, center.x + half + 1, c);
+        }
+    }
+
+    /// Renders one line of text with the embedded 5×7 font; `origin` is the
+    /// top-left of the first glyph cell. Returns the advance width.
+    pub fn text(&mut self, origin: Point, text: &str, c: Color) -> u32 {
+        let mut x = origin.x;
+        for ch in text.chars() {
+            for col in 0..font::GLYPH_WIDTH {
+                for row in 0..font::GLYPH_HEIGHT {
+                    if font::glyph_pixel(ch, col, row) {
+                        self.pixel(Point::new(x + col as i32, origin.y + row as i32), c);
+                    }
+                }
+            }
+            x += font::ADVANCE as i32;
+        }
+        (x - origin.x) as u32
+    }
+
+    /// Renders `text` centered inside `rect`.
+    pub fn text_centered(&mut self, rect: Rect, text: &str, c: Color) {
+        let tw = font::text_width(text);
+        let x = rect.x + ((rect.w as i32 - tw as i32) / 2).max(0);
+        let y = rect.y + ((rect.h as i32 - font::GLYPH_HEIGHT as i32) / 2).max(0);
+        self.clipped(rect, |canvas| {
+            canvas.text(Point::new(x, y), text, c);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_color(fb: &Framebuffer, c: Color) -> usize {
+        fb.pixels().iter().filter(|&&p| p == c).count()
+    }
+
+    #[test]
+    fn fill_respects_clip() {
+        let mut fb = Framebuffer::new(16, 16, Color::BLACK);
+        let mut canvas = Canvas::with_clip(&mut fb, Rect::new(0, 0, 4, 4));
+        canvas.fill_rect(Rect::new(0, 0, 16, 16), Color::RED);
+        assert_eq!(count_color(&fb, Color::RED), 16);
+    }
+
+    #[test]
+    fn nested_clip_intersects() {
+        let mut fb = Framebuffer::new(16, 16, Color::BLACK);
+        let mut canvas = Canvas::with_clip(&mut fb, Rect::new(0, 0, 8, 8));
+        canvas.clipped(Rect::new(4, 4, 8, 8), |inner| {
+            inner.fill_rect(Rect::new(0, 0, 16, 16), Color::GREEN);
+        });
+        assert_eq!(count_color(&fb, Color::GREEN), 16);
+    }
+
+    #[test]
+    fn hline_vline() {
+        let mut fb = Framebuffer::new(8, 8, Color::BLACK);
+        let mut canvas = Canvas::new(&mut fb);
+        canvas.hline(2, 0, 8, Color::WHITE);
+        canvas.vline(3, 0, 8, Color::RED);
+        assert_eq!(fb.pixel(Point::new(5, 2)), Some(Color::WHITE));
+        assert_eq!(fb.pixel(Point::new(3, 5)), Some(Color::RED));
+        assert_eq!(
+            fb.pixel(Point::new(3, 2)),
+            Some(Color::RED),
+            "vline drawn after"
+        );
+    }
+
+    #[test]
+    fn line_endpoints_drawn() {
+        let mut fb = Framebuffer::new(16, 16, Color::BLACK);
+        let mut canvas = Canvas::new(&mut fb);
+        canvas.line(Point::new(1, 1), Point::new(12, 9), Color::CYAN);
+        assert_eq!(fb.pixel(Point::new(1, 1)), Some(Color::CYAN));
+        assert_eq!(fb.pixel(Point::new(12, 9)), Some(Color::CYAN));
+    }
+
+    #[test]
+    fn stroke_rect_outline_only() {
+        let mut fb = Framebuffer::new(8, 8, Color::BLACK);
+        let mut canvas = Canvas::new(&mut fb);
+        canvas.stroke_rect(Rect::new(1, 1, 5, 5), Color::WHITE);
+        assert_eq!(fb.pixel(Point::new(1, 1)), Some(Color::WHITE));
+        assert_eq!(fb.pixel(Point::new(3, 3)), Some(Color::BLACK));
+        assert_eq!(fb.pixel(Point::new(5, 5)), Some(Color::WHITE));
+    }
+
+    #[test]
+    fn bevel_raised_vs_sunken() {
+        let mut fb = Framebuffer::new(8, 8, Color::GRAY);
+        let mut canvas = Canvas::new(&mut fb);
+        canvas.bevel(Rect::new(0, 0, 8, 8), Color::GRAY, true);
+        let top = fb.pixel(Point::new(3, 0)).unwrap();
+        let bottom = fb.pixel(Point::new(3, 7)).unwrap();
+        assert!(top.luma() > bottom.luma(), "raised: light on top");
+        let mut fb2 = Framebuffer::new(8, 8, Color::GRAY);
+        let mut canvas2 = Canvas::new(&mut fb2);
+        canvas2.bevel(Rect::new(0, 0, 8, 8), Color::GRAY, false);
+        let top2 = fb2.pixel(Point::new(3, 0)).unwrap();
+        assert!(top2.luma() < top.luma(), "sunken: dark on top");
+    }
+
+    #[test]
+    fn text_renders_ink() {
+        let mut fb = Framebuffer::new(40, 12, Color::BLACK);
+        let mut canvas = Canvas::new(&mut fb);
+        let adv = canvas.text(Point::new(0, 0), "Hi", Color::WHITE);
+        assert_eq!(adv, 12);
+        assert!(count_color(&fb, Color::WHITE) > 5);
+    }
+
+    #[test]
+    fn text_centered_stays_in_rect() {
+        let mut fb = Framebuffer::new(40, 20, Color::BLACK);
+        let rect = Rect::new(5, 5, 30, 12);
+        let mut canvas = Canvas::new(&mut fb);
+        canvas.text_centered(rect, "ab", Color::WHITE);
+        for (i, &px) in fb.pixels().iter().enumerate() {
+            if px == Color::WHITE {
+                let p = Point::new((i % 40) as i32, (i / 40) as i32);
+                assert!(rect.contains(p), "ink outside rect at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn circle_and_fill_circle() {
+        let mut fb = Framebuffer::new(21, 21, Color::BLACK);
+        let mut canvas = Canvas::new(&mut fb);
+        canvas.fill_circle(Point::new(10, 10), 5, Color::RED);
+        assert_eq!(fb.pixel(Point::new(10, 10)), Some(Color::RED));
+        assert_eq!(fb.pixel(Point::new(10, 5)), Some(Color::RED));
+        assert_eq!(fb.pixel(Point::new(0, 0)), Some(Color::BLACK));
+        canvas = Canvas::new(&mut fb);
+        canvas.circle(Point::new(10, 10), 8, Color::WHITE);
+        assert_eq!(fb.pixel(Point::new(18, 10)), Some(Color::WHITE));
+    }
+
+    #[test]
+    fn negative_radius_ignored() {
+        let mut fb = Framebuffer::new(8, 8, Color::BLACK);
+        let mut canvas = Canvas::new(&mut fb);
+        canvas.circle(Point::new(4, 4), -1, Color::WHITE);
+        canvas.fill_circle(Point::new(4, 4), -1, Color::WHITE);
+        assert_eq!(count_color(&fb, Color::WHITE), 0);
+    }
+}

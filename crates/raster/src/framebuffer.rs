@@ -1,0 +1,430 @@
+//! The software framebuffer: canonical 24-bit RGB pixels plus damage
+//! tracking.
+//!
+//! The window system renders into a [`Framebuffer`]; the UniInt server
+//! drains its [`Region`] of accumulated damage to decide which rectangles
+//! to re-encode and ship to the proxy.
+
+use crate::color::Color;
+use crate::geom::{Point, Rect, Size};
+use crate::region::Region;
+
+/// A `w`×`h` raster of [`Color`] pixels with an accumulated damage region.
+///
+/// ```
+/// use uniint_raster::framebuffer::Framebuffer;
+/// use uniint_raster::color::Color;
+/// use uniint_raster::geom::{Point, Rect};
+/// let mut fb = Framebuffer::new(64, 48, Color::BLACK);
+/// fb.take_damage(); // a fresh framebuffer starts fully damaged
+/// fb.fill_rect(Rect::new(0, 0, 8, 8), Color::RED);
+/// assert_eq!(fb.pixel(Point::new(3, 3)), Some(Color::RED));
+/// assert_eq!(fb.damage().bounding_rect(), Rect::new(0, 0, 8, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    pixels: Vec<Color>,
+    damage: Region,
+}
+
+impl Framebuffer {
+    /// Creates a framebuffer filled with `background`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the area exceeds 64 Mpixels
+    /// (a guard against nonsense sizes, not a real display limit).
+    pub fn new(width: u32, height: u32, background: Color) -> Framebuffer {
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
+        assert!(
+            width as u64 * height as u64 <= 64 * 1024 * 1024,
+            "framebuffer too large"
+        );
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![background; (width * height) as usize],
+            damage: Region::from_rect(Rect::new(0, 0, width, height)),
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Size as a [`Size`].
+    pub fn size(&self) -> Size {
+        Size::new(self.width, self.height)
+    }
+
+    /// The rectangle `(0, 0, w, h)`.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0, 0, self.width, self.height)
+    }
+
+    /// Raw pixel storage in row-major order.
+    pub fn pixels(&self) -> &[Color] {
+        &self.pixels
+    }
+
+    /// The pixel at `p`, or `None` when out of bounds.
+    pub fn pixel(&self, p: Point) -> Option<Color> {
+        if !self.bounds().contains(p) {
+            return None;
+        }
+        Some(self.pixels[(p.y as u32 * self.width + p.x as u32) as usize])
+    }
+
+    /// Sets one pixel; out-of-bounds writes are ignored. Records damage.
+    pub fn set_pixel(&mut self, p: Point, c: Color) {
+        if !self.bounds().contains(p) {
+            return;
+        }
+        let idx = (p.y as u32 * self.width + p.x as u32) as usize;
+        if self.pixels[idx] != c {
+            self.pixels[idx] = c;
+            self.damage.add(Rect::new(p.x, p.y, 1, 1));
+        }
+    }
+
+    /// A row slice clipped to the framebuffer, or an empty slice when the
+    /// row is out of range.
+    pub fn row(&self, y: u32) -> &[Color] {
+        if y >= self.height {
+            return &[];
+        }
+        let start = (y * self.width) as usize;
+        &self.pixels[start..start + self.width as usize]
+    }
+
+    /// Copies the pixels of `rect` (clipped) into a new row-major vector,
+    /// together with the clipped rectangle.
+    pub fn read_rect(&self, rect: Rect) -> (Rect, Vec<Color>) {
+        let Some(clipped) = rect.intersect(self.bounds()) else {
+            return (Rect::EMPTY, Vec::new());
+        };
+        let mut out = Vec::with_capacity(clipped.area() as usize);
+        for y in clipped.y..clipped.bottom() {
+            let start = (y as u32 * self.width + clipped.x as u32) as usize;
+            out.extend_from_slice(&self.pixels[start..start + clipped.w as usize]);
+        }
+        (clipped, out)
+    }
+
+    /// Writes a row-major block of pixels at `rect` (clipped to bounds).
+    /// `data` must be `rect.w * rect.h` long. Records damage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not match `rect`'s area.
+    pub fn write_rect(&mut self, rect: Rect, data: &[Color]) {
+        assert_eq!(
+            data.len() as u64,
+            rect.area(),
+            "write_rect data length mismatch"
+        );
+        let Some(clipped) = rect.intersect(self.bounds()) else {
+            return;
+        };
+        for y in clipped.y..clipped.bottom() {
+            let src_row = (y - rect.y) as usize * rect.w as usize + (clipped.x - rect.x) as usize;
+            let dst = (y as u32 * self.width + clipped.x as u32) as usize;
+            self.pixels[dst..dst + clipped.w as usize]
+                .copy_from_slice(&data[src_row..src_row + clipped.w as usize]);
+        }
+        self.damage.add(clipped);
+    }
+
+    /// Fills `rect` (clipped) with `c`. Records damage.
+    pub fn fill_rect(&mut self, rect: Rect, c: Color) {
+        let Some(clipped) = rect.intersect(self.bounds()) else {
+            return;
+        };
+        for y in clipped.y..clipped.bottom() {
+            let start = (y as u32 * self.width + clipped.x as u32) as usize;
+            self.pixels[start..start + clipped.w as usize].fill(c);
+        }
+        self.damage.add(clipped);
+    }
+
+    /// Fills the whole framebuffer.
+    pub fn clear(&mut self, c: Color) {
+        self.fill_rect(self.bounds(), c);
+    }
+
+    /// Copies `src` (clipped) so its top-left lands on `dst` — the
+    /// protocol's `CopyRect` primitive. Overlapping copies are safe.
+    pub fn copy_rect(&mut self, src: Rect, dst: Point) {
+        let Some(src) = src.intersect(self.bounds()) else {
+            return;
+        };
+        let dst_rect = Rect::new(dst.x, dst.y, src.w, src.h);
+        let Some(dst_clipped) = dst_rect.intersect(self.bounds()) else {
+            return;
+        };
+        // Re-clip the source to match the destination clip.
+        let src = Rect::new(
+            src.x + (dst_clipped.x - dst_rect.x),
+            src.y + (dst_clipped.y - dst_rect.y),
+            dst_clipped.w,
+            dst_clipped.h,
+        );
+        let (_, data) = self.read_rect(src);
+        self.write_rect(dst_clipped, &data);
+    }
+
+    /// Blits `src_rect` from another framebuffer to `dst` in `self`.
+    pub fn blit_from(&mut self, src: &Framebuffer, src_rect: Rect, dst: Point) {
+        let (clipped, data) = src.read_rect(src_rect);
+        if clipped.is_empty() {
+            return;
+        }
+        self.write_rect(
+            Rect::new(
+                dst.x + (clipped.x - src_rect.x),
+                dst.y + (clipped.y - src_rect.y),
+                clipped.w,
+                clipped.h,
+            ),
+            &data,
+        );
+    }
+
+    /// The accumulated damage region.
+    pub fn damage(&self) -> &Region {
+        &self.damage
+    }
+
+    /// Marks `rect` damaged without touching pixels (used when an external
+    /// writer mutates the raster through `write_rect`-free paths).
+    pub fn add_damage(&mut self, rect: Rect) {
+        if let Some(clipped) = rect.intersect(self.bounds()) {
+            self.damage.add(clipped);
+        }
+    }
+
+    /// Drains and returns the damage accumulated since the last call.
+    pub fn take_damage(&mut self) -> Region {
+        core::mem::take(&mut self.damage)
+    }
+
+    /// Whether any damage is pending.
+    pub fn is_damaged(&self) -> bool {
+        !self.damage.is_empty()
+    }
+
+    /// Computes the region where `self` and `other` differ, as row bands
+    /// coalesced into a [`Region`]. Output plug-ins use this to ship only
+    /// the device rows that actually changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the framebuffers have different sizes.
+    pub fn diff_region(&self, other: &Framebuffer) -> Region {
+        assert_eq!(self.size(), other.size(), "diff requires equal sizes");
+        let mut out = Region::new();
+        let w = self.width as usize;
+        for y in 0..self.height {
+            let a = self.row(y);
+            let b = other.row(y);
+            let mut x = 0usize;
+            while x < w {
+                if a[x] == b[x] {
+                    x += 1;
+                    continue;
+                }
+                let start = x;
+                while x < w && a[x] != b[x] {
+                    x += 1;
+                }
+                out.add(Rect::new(start as i32, y as i32, (x - start) as u32, 1));
+            }
+        }
+        out
+    }
+}
+
+impl PartialEq for Framebuffer {
+    /// Framebuffers compare by size and pixel content; damage bookkeeping
+    /// is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.height == other.height && self.pixels == other.pixels
+    }
+}
+
+impl Eq for Framebuffer {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_fully_damaged() {
+        let fb = Framebuffer::new(10, 10, Color::BLACK);
+        assert_eq!(fb.damage().area(), 100);
+        assert_eq!(fb.size(), Size::new(10, 10));
+    }
+
+    #[test]
+    fn set_and_get_pixel() {
+        let mut fb = Framebuffer::new(4, 4, Color::BLACK);
+        fb.take_damage();
+        fb.set_pixel(Point::new(2, 1), Color::RED);
+        assert_eq!(fb.pixel(Point::new(2, 1)), Some(Color::RED));
+        assert_eq!(fb.pixel(Point::new(9, 9)), None);
+        assert_eq!(fb.damage().bounding_rect(), Rect::new(2, 1, 1, 1));
+    }
+
+    #[test]
+    fn set_pixel_same_color_no_damage() {
+        let mut fb = Framebuffer::new(4, 4, Color::BLACK);
+        fb.take_damage();
+        fb.set_pixel(Point::new(0, 0), Color::BLACK);
+        assert!(!fb.is_damaged());
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut fb = Framebuffer::new(8, 8, Color::BLACK);
+        fb.fill_rect(Rect::new(6, 6, 10, 10), Color::GREEN);
+        assert_eq!(fb.pixel(Point::new(7, 7)), Some(Color::GREEN));
+        assert_eq!(fb.pixel(Point::new(5, 5)), Some(Color::BLACK));
+    }
+
+    #[test]
+    fn read_write_rect_roundtrip() {
+        let mut fb = Framebuffer::new(8, 8, Color::BLACK);
+        fb.fill_rect(Rect::new(2, 2, 3, 3), Color::BLUE);
+        let (r, data) = fb.read_rect(Rect::new(2, 2, 3, 3));
+        assert_eq!(r, Rect::new(2, 2, 3, 3));
+        let mut fb2 = Framebuffer::new(8, 8, Color::BLACK);
+        fb2.write_rect(r, &data);
+        assert_eq!(fb, fb2);
+    }
+
+    #[test]
+    fn read_rect_out_of_bounds_clips() {
+        let fb = Framebuffer::new(4, 4, Color::WHITE);
+        let (r, data) = fb.read_rect(Rect::new(2, 2, 10, 10));
+        assert_eq!(r, Rect::new(2, 2, 2, 2));
+        assert_eq!(data.len(), 4);
+        let (r2, d2) = fb.read_rect(Rect::new(100, 100, 5, 5));
+        assert!(r2.is_empty());
+        assert!(d2.is_empty());
+    }
+
+    #[test]
+    fn copy_rect_moves_pixels() {
+        let mut fb = Framebuffer::new(8, 8, Color::BLACK);
+        fb.fill_rect(Rect::new(0, 0, 2, 2), Color::RED);
+        fb.copy_rect(Rect::new(0, 0, 2, 2), Point::new(4, 4));
+        assert_eq!(fb.pixel(Point::new(4, 4)), Some(Color::RED));
+        assert_eq!(fb.pixel(Point::new(5, 5)), Some(Color::RED));
+        assert_eq!(fb.pixel(Point::new(0, 0)), Some(Color::RED), "source kept");
+    }
+
+    #[test]
+    fn copy_rect_overlapping() {
+        let mut fb = Framebuffer::new(8, 1, Color::BLACK);
+        for x in 0..4 {
+            fb.set_pixel(Point::new(x, 0), Color::rgb(x as u8 + 1, 0, 0));
+        }
+        fb.copy_rect(Rect::new(0, 0, 4, 1), Point::new(2, 0));
+        assert_eq!(fb.pixel(Point::new(2, 0)), Some(Color::rgb(1, 0, 0)));
+        assert_eq!(fb.pixel(Point::new(5, 0)), Some(Color::rgb(4, 0, 0)));
+    }
+
+    #[test]
+    fn blit_from_other() {
+        let mut src = Framebuffer::new(4, 4, Color::CYAN);
+        src.fill_rect(Rect::new(0, 0, 2, 2), Color::MAGENTA);
+        let mut dst = Framebuffer::new(8, 8, Color::BLACK);
+        dst.blit_from(&src, src.bounds(), Point::new(1, 1));
+        assert_eq!(dst.pixel(Point::new(1, 1)), Some(Color::MAGENTA));
+        assert_eq!(dst.pixel(Point::new(4, 4)), Some(Color::CYAN));
+        assert_eq!(dst.pixel(Point::new(0, 0)), Some(Color::BLACK));
+    }
+
+    #[test]
+    fn take_damage_resets() {
+        let mut fb = Framebuffer::new(4, 4, Color::BLACK);
+        let d = fb.take_damage();
+        assert_eq!(d.area(), 16);
+        assert!(!fb.is_damaged());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_panics() {
+        Framebuffer::new(0, 10, Color::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn write_rect_bad_len_panics() {
+        let mut fb = Framebuffer::new(4, 4, Color::BLACK);
+        fb.write_rect(Rect::new(0, 0, 2, 2), &[Color::RED]);
+    }
+}
+
+#[cfg(test)]
+mod diff_tests {
+    use super::*;
+
+    #[test]
+    fn identical_frames_diff_empty() {
+        let a = Framebuffer::new(8, 8, Color::GRAY);
+        let b = a.clone();
+        assert!(a.diff_region(&b).is_empty());
+    }
+
+    #[test]
+    fn single_pixel_diff() {
+        let a = Framebuffer::new(8, 8, Color::GRAY);
+        let mut b = a.clone();
+        b.set_pixel(Point::new(3, 5), Color::RED);
+        let d = a.diff_region(&b);
+        assert_eq!(d.area(), 1);
+        assert!(d.contains(Point::new(3, 5)));
+    }
+
+    #[test]
+    fn horizontal_runs_coalesce() {
+        let a = Framebuffer::new(16, 4, Color::BLACK);
+        let mut b = a.clone();
+        b.fill_rect(Rect::new(2, 1, 10, 2), Color::WHITE);
+        let d = a.diff_region(&b);
+        assert_eq!(d.area(), 20);
+        assert_eq!(d.bounding_rect(), Rect::new(2, 1, 10, 2));
+        // Vertical merging keeps the representation compact.
+        assert!(d.rect_count() <= 2, "{}", d.rect_count());
+    }
+
+    #[test]
+    fn diff_is_symmetric_in_coverage() {
+        let a = Framebuffer::new(10, 10, Color::BLACK);
+        let mut b = a.clone();
+        b.fill_rect(Rect::new(0, 0, 3, 3), Color::BLUE);
+        b.fill_rect(Rect::new(7, 7, 3, 3), Color::RED);
+        let d1 = a.diff_region(&b);
+        let d2 = b.diff_region(&a);
+        assert_eq!(d1.area(), d2.area());
+        assert_eq!(d1.bounding_rect(), d2.bounding_rect());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal sizes")]
+    fn size_mismatch_panics() {
+        let a = Framebuffer::new(4, 4, Color::BLACK);
+        let b = Framebuffer::new(5, 4, Color::BLACK);
+        let _ = a.diff_region(&b);
+    }
+}

@@ -1,0 +1,52 @@
+//! # uniint-raster
+//!
+//! Raster substrate for the *universal interaction* reproduction: geometry,
+//! regions, colors, pixel formats, a damage-tracking software framebuffer,
+//! drawing primitives with an embedded 5×7 font, scaling filters, and
+//! quantization/dithering.
+//!
+//! In the paper's architecture the **output** half of the universal
+//! interaction protocol is "bitmap images"; everything in this crate exists
+//! to produce, transport, and adapt those bitmaps:
+//!
+//! - the window system (`uniint-wsys`) draws widgets through [`draw::Canvas`]
+//!   into a [`framebuffer::Framebuffer`], which tracks damage as a
+//!   [`region::Region`];
+//! - the UniInt server encodes damaged rectangles with the pixel packing in
+//!   [`pixel`];
+//! - the UniInt proxy's output plug-ins adapt frames to each device with
+//!   [`scale`] and [`dither`].
+//!
+//! ```
+//! use uniint_raster::prelude::*;
+//! let mut fb = Framebuffer::new(320, 240, Color::LIGHT_GRAY);
+//! Canvas::new(&mut fb).text_centered(Rect::new(0, 0, 320, 20), "TV Control", Color::BLACK);
+//! let pda = scale(&fb, Size::new(160, 120), ScaleFilter::Box);
+//! let lcd = dither_to_format(&pda, PixelFormat::Mono1, DitherMode::FloydSteinberg);
+//! assert_eq!(lcd.size(), Size::new(160, 120));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod color;
+pub mod dither;
+pub mod draw;
+pub mod font;
+pub mod framebuffer;
+pub mod geom;
+pub mod pixel;
+pub mod region;
+pub mod scale;
+
+/// Convenient re-exports of the most used raster types.
+pub mod prelude {
+    pub use crate::color::{Color, Palette};
+    pub use crate::dither::{dither_to_format, dither_to_palette, DitherMode};
+    pub use crate::draw::Canvas;
+    pub use crate::framebuffer::Framebuffer;
+    pub use crate::geom::{Point, Rect, Size};
+    pub use crate::pixel::PixelFormat;
+    pub use crate::region::Region;
+    pub use crate::scale::{scale, scale_to_fit, ScaleFilter};
+}

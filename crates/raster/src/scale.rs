@@ -1,0 +1,238 @@
+//! Image scaling: the UniInt proxy rescales server frames to each output
+//! device's native resolution (TV overscan, QVGA PDA, 128×128 phone LCD...).
+
+use crate::color::Color;
+use crate::framebuffer::Framebuffer;
+use crate::geom::Size;
+use serde::{Deserialize, Serialize};
+
+/// Scaling filter selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ScaleFilter {
+    /// Nearest-neighbor: fastest, blockiest. What a 2002 PDA viewer did.
+    #[default]
+    Nearest,
+    /// Bilinear interpolation: smoother, ~4 taps per output pixel.
+    Bilinear,
+    /// Box filter (area average): best for large downscales such as
+    /// 640×480 → 128×128 phone LCDs.
+    Box,
+}
+
+impl core::fmt::Display for ScaleFilter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ScaleFilter::Nearest => "nearest",
+            ScaleFilter::Bilinear => "bilinear",
+            ScaleFilter::Box => "box",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scales `src` to exactly `target` using `filter`.
+///
+/// Returns a clone when the size already matches.
+///
+/// # Panics
+///
+/// Panics if `target` is empty.
+pub fn scale(src: &Framebuffer, target: Size, filter: ScaleFilter) -> Framebuffer {
+    assert!(!target.is_empty(), "scale target must be non-empty");
+    if src.size() == target {
+        return src.clone();
+    }
+    match filter {
+        ScaleFilter::Nearest => scale_nearest(src, target),
+        ScaleFilter::Bilinear => scale_bilinear(src, target),
+        ScaleFilter::Box => scale_box(src, target),
+    }
+}
+
+/// Scales `src` to fit within `bounds` preserving aspect ratio; result is
+/// at least 1×1.
+pub fn scale_to_fit(src: &Framebuffer, bounds: Size, filter: ScaleFilter) -> Framebuffer {
+    assert!(!bounds.is_empty(), "scale bounds must be non-empty");
+    let sx = bounds.w as f64 / src.width() as f64;
+    let sy = bounds.h as f64 / src.height() as f64;
+    let s = sx.min(sy);
+    let w = ((src.width() as f64 * s).round() as u32).clamp(1, bounds.w);
+    let h = ((src.height() as f64 * s).round() as u32).clamp(1, bounds.h);
+    scale(src, Size::new(w, h), filter)
+}
+
+fn scale_nearest(src: &Framebuffer, target: Size) -> Framebuffer {
+    let mut dst = Framebuffer::new(target.w, target.h, Color::BLACK);
+    let mut rows = Vec::with_capacity((target.w * target.h) as usize);
+    for y in 0..target.h {
+        let sy = (y as u64 * src.height() as u64 / target.h as u64) as u32;
+        let row = src.row(sy);
+        for x in 0..target.w {
+            let sx = (x as u64 * src.width() as u64 / target.w as u64) as usize;
+            rows.push(row[sx]);
+        }
+    }
+    dst.write_rect(dst.bounds(), &rows);
+    dst
+}
+
+fn scale_bilinear(src: &Framebuffer, target: Size) -> Framebuffer {
+    let mut dst = Framebuffer::new(target.w, target.h, Color::BLACK);
+    let mut out = Vec::with_capacity((target.w * target.h) as usize);
+    let sw = src.width() as f64;
+    let sh = src.height() as f64;
+    for y in 0..target.h {
+        // Map pixel centers.
+        let fy = ((y as f64 + 0.5) * sh / target.h as f64 - 0.5).max(0.0);
+        let y0 = fy.floor() as u32;
+        let y1 = (y0 + 1).min(src.height() - 1);
+        let ty = ((fy - y0 as f64) * 256.0) as u32;
+        let row0 = src.row(y0);
+        let row1 = src.row(y1);
+        for x in 0..target.w {
+            let fx = ((x as f64 + 0.5) * sw / target.w as f64 - 0.5).max(0.0);
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(src.width() as usize - 1);
+            let tx = ((fx - x0 as f64) * 256.0) as u32;
+            let top = row0[x0].lerp(row0[x1], tx);
+            let bot = row1[x0].lerp(row1[x1], tx);
+            out.push(top.lerp(bot, ty));
+        }
+    }
+    dst.write_rect(dst.bounds(), &out);
+    dst
+}
+
+fn scale_box(src: &Framebuffer, target: Size) -> Framebuffer {
+    let mut dst = Framebuffer::new(target.w, target.h, Color::BLACK);
+    let mut out = Vec::with_capacity((target.w * target.h) as usize);
+    for y in 0..target.h {
+        let y0 = (y as u64 * src.height() as u64 / target.h as u64) as u32;
+        let mut y1 = ((y as u64 + 1) * src.height() as u64 / target.h as u64) as u32;
+        if y1 <= y0 {
+            y1 = y0 + 1;
+        }
+        for x in 0..target.w {
+            let x0 = (x as u64 * src.width() as u64 / target.w as u64) as u32;
+            let mut x1 = ((x as u64 + 1) * src.width() as u64 / target.w as u64) as u32;
+            if x1 <= x0 {
+                x1 = x0 + 1;
+            }
+            let (mut r, mut g, mut b) = (0u64, 0u64, 0u64);
+            for sy in y0..y1 {
+                let row = src.row(sy);
+                for sx in x0..x1 {
+                    let c = row[sx as usize];
+                    r += c.r as u64;
+                    g += c.g as u64;
+                    b += c.b as u64;
+                }
+            }
+            let n = ((y1 - y0) * (x1 - x0)) as u64;
+            out.push(Color::rgb((r / n) as u8, (g / n) as u8, (b / n) as u8));
+        }
+    }
+    dst.write_rect(dst.bounds(), &out);
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect};
+
+    fn checkerboard(w: u32, h: u32) -> Framebuffer {
+        let mut fb = Framebuffer::new(w, h, Color::BLACK);
+        for y in 0..h as i32 {
+            for x in 0..w as i32 {
+                if (x + y) % 2 == 0 {
+                    fb.set_pixel(Point::new(x, y), Color::WHITE);
+                }
+            }
+        }
+        fb
+    }
+
+    #[test]
+    fn identity_scale_is_clone() {
+        let src = checkerboard(8, 8);
+        for f in [
+            ScaleFilter::Nearest,
+            ScaleFilter::Bilinear,
+            ScaleFilter::Box,
+        ] {
+            let out = scale(&src, Size::new(8, 8), f);
+            assert_eq!(out, src);
+        }
+    }
+
+    #[test]
+    fn upscale_nearest_replicates() {
+        let mut src = Framebuffer::new(2, 1, Color::BLACK);
+        src.set_pixel(Point::new(1, 0), Color::WHITE);
+        let out = scale(&src, Size::new(4, 2), ScaleFilter::Nearest);
+        assert_eq!(out.pixel(Point::new(0, 0)), Some(Color::BLACK));
+        assert_eq!(out.pixel(Point::new(1, 1)), Some(Color::BLACK));
+        assert_eq!(out.pixel(Point::new(2, 0)), Some(Color::WHITE));
+        assert_eq!(out.pixel(Point::new(3, 1)), Some(Color::WHITE));
+    }
+
+    #[test]
+    fn downscale_box_averages() {
+        let src = checkerboard(8, 8);
+        let out = scale(&src, Size::new(1, 1), ScaleFilter::Box);
+        let c = out.pixel(Point::new(0, 0)).unwrap();
+        assert!(
+            (120..=135).contains(&c.r),
+            "average of checkerboard ~127, got {c}"
+        );
+    }
+
+    #[test]
+    fn bilinear_midpoint_blends() {
+        let mut src = Framebuffer::new(2, 1, Color::BLACK);
+        src.set_pixel(Point::new(1, 0), Color::WHITE);
+        let out = scale(&src, Size::new(3, 1), ScaleFilter::Bilinear);
+        let mid = out.pixel(Point::new(1, 0)).unwrap();
+        assert!(mid.r > 0 && mid.r < 255, "midpoint should blend, got {mid}");
+    }
+
+    #[test]
+    fn solid_color_survives_all_filters() {
+        let mut src = Framebuffer::new(10, 10, Color::BLACK);
+        src.fill_rect(Rect::new(0, 0, 10, 10), Color::rgb(40, 90, 200));
+        for f in [
+            ScaleFilter::Nearest,
+            ScaleFilter::Bilinear,
+            ScaleFilter::Box,
+        ] {
+            let out = scale(&src, Size::new(3, 7), f);
+            for &p in out.pixels() {
+                assert_eq!(p, Color::rgb(40, 90, 200), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_to_fit_preserves_aspect() {
+        let src = Framebuffer::new(100, 50, Color::BLACK);
+        let out = scale_to_fit(&src, Size::new(20, 20), ScaleFilter::Nearest);
+        assert_eq!(out.size(), Size::new(20, 10));
+        let out2 = scale_to_fit(&src, Size::new(200, 20), ScaleFilter::Nearest);
+        assert_eq!(out2.size(), Size::new(40, 20));
+    }
+
+    #[test]
+    fn scale_to_fit_never_zero() {
+        let src = Framebuffer::new(1000, 10, Color::BLACK);
+        let out = scale_to_fit(&src, Size::new(5, 5), ScaleFilter::Box);
+        assert!(out.width() >= 1 && out.height() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_target_panics() {
+        let src = Framebuffer::new(4, 4, Color::BLACK);
+        scale(&src, Size::ZERO, ScaleFilter::Nearest);
+    }
+}

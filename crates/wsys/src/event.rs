@@ -1,0 +1,93 @@
+//! Widget-level events and the actions widgets emit back to applications.
+
+use uniint_protocol::input::KeySym;
+use uniint_raster::geom::Point;
+
+/// Identifier of a widget inside one [`crate::ui::Ui`].
+pub type WidgetId = u32;
+
+/// Pointer interaction delivered to a widget, with coordinates already
+/// translated to the widget's local space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointerPhase {
+    /// Primary button pressed inside the widget.
+    Down,
+    /// Pointer moved while the widget holds the grab.
+    Drag,
+    /// Primary button released (widget had the grab).
+    Up,
+    /// Pointer moved with no button held.
+    Hover,
+}
+
+/// A pointer event in widget-local coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointerEvent {
+    /// Interaction phase.
+    pub phase: PointerPhase,
+    /// Position relative to the widget's top-left corner.
+    pub pos: Point,
+    /// Whether `pos` lies inside the widget bounds (drags may leave).
+    pub inside: bool,
+}
+
+/// What happened, reported by widgets to the application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// A button was activated.
+    Clicked,
+    /// A toggle changed state.
+    Toggled(bool),
+    /// A slider (or other ranged widget) changed value.
+    ValueChanged(i32),
+    /// A list row was selected.
+    Selected(usize),
+    /// A text field's content changed.
+    TextChanged(String),
+    /// A text field was committed with Return.
+    Submitted(String),
+}
+
+/// An action tagged with the widget that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionEvent {
+    /// The emitting widget.
+    pub widget: WidgetId,
+    /// What it reported.
+    pub action: Action,
+}
+
+/// A key event as seen by a focused widget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyEvent {
+    /// True for press, false for release.
+    pub down: bool,
+    /// The key.
+    pub sym: KeySym,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_event_carries_widget() {
+        let e = ActionEvent {
+            widget: 7,
+            action: Action::Clicked,
+        };
+        assert_eq!(e.widget, 7);
+        assert_eq!(e.action, Action::Clicked);
+    }
+
+    #[test]
+    fn pointer_event_fields() {
+        let e = PointerEvent {
+            phase: PointerPhase::Down,
+            pos: Point::new(3, 4),
+            inside: true,
+        };
+        assert!(e.inside);
+        assert_eq!(e.phase, PointerPhase::Down);
+    }
+}

@@ -1,0 +1,176 @@
+//! Rectangle-splitting layout helpers.
+//!
+//! The toolkit keeps layout explicit: applications carve a window area
+//! into cells with these helpers and place widgets into the cells.
+
+use uniint_raster::geom::Rect;
+
+/// How one cell of a split is sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// Exactly this many pixels.
+    Fixed(u32),
+    /// A share of the remaining space proportional to the weight.
+    Weight(u32),
+}
+
+fn split(total: u32, cells: &[Cell], spacing: u32) -> Vec<u32> {
+    let n = cells.len() as u32;
+    if n == 0 {
+        return Vec::new();
+    }
+    let gaps = spacing * (n - 1);
+    let fixed: u32 = cells
+        .iter()
+        .map(|c| if let Cell::Fixed(px) = c { *px } else { 0 })
+        .sum();
+    let weight_total: u32 = cells
+        .iter()
+        .map(|c| if let Cell::Weight(w) = c { *w } else { 0 })
+        .sum();
+    let avail = total.saturating_sub(fixed + gaps);
+    let mut out = Vec::with_capacity(cells.len());
+    let mut used = 0u32;
+    let mut weight_seen = 0u32;
+    for c in cells {
+        match c {
+            Cell::Fixed(px) => out.push(*px),
+            Cell::Weight(w) => {
+                // Distribute rounding so the weights sum exactly to avail.
+                weight_seen += w;
+                let target = if weight_total == 0 {
+                    0
+                } else {
+                    (avail as u64 * weight_seen as u64 / weight_total as u64) as u32
+                };
+                out.push(target - used);
+                used = target;
+            }
+        }
+    }
+    out
+}
+
+/// Splits `area` into vertically stacked rows.
+pub fn rows(area: Rect, cells: &[Cell], spacing: u32) -> Vec<Rect> {
+    let heights = split(area.h, cells, spacing);
+    let mut y = area.y;
+    heights
+        .into_iter()
+        .map(|h| {
+            let r = Rect::new(area.x, y, area.w, h);
+            y += h as i32 + spacing as i32;
+            r
+        })
+        .collect()
+}
+
+/// Splits `area` into horizontally arranged columns.
+pub fn columns(area: Rect, cells: &[Cell], spacing: u32) -> Vec<Rect> {
+    let widths = split(area.w, cells, spacing);
+    let mut x = area.x;
+    widths
+        .into_iter()
+        .map(|w| {
+            let r = Rect::new(x, area.y, w, area.h);
+            x += w as i32 + spacing as i32;
+            r
+        })
+        .collect()
+}
+
+/// Splits `area` into an `ncols`×`nrows` grid of equal cells, row-major.
+pub fn grid(area: Rect, ncols: usize, nrows: usize, spacing: u32) -> Vec<Rect> {
+    let row_cells = vec![Cell::Weight(1); nrows];
+    let col_cells = vec![Cell::Weight(1); ncols];
+    rows(area, &row_cells, spacing)
+        .into_iter()
+        .flat_map(|r| columns(r, &col_cells, spacing))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_fill_exactly() {
+        let rs = rows(Rect::new(0, 0, 100, 100), &[Cell::Weight(1); 3], 0);
+        assert_eq!(rs.len(), 3);
+        let total: u32 = rs.iter().map(|r| r.h).sum();
+        assert_eq!(total, 100, "no pixel lost to rounding");
+        assert_eq!(rs[0].y, 0);
+        assert_eq!(rs[2].bottom(), 100);
+    }
+
+    #[test]
+    fn fixed_and_weight_mix() {
+        let rs = rows(
+            Rect::new(0, 0, 100, 100),
+            &[Cell::Fixed(20), Cell::Weight(1), Cell::Weight(3)],
+            0,
+        );
+        assert_eq!(rs[0].h, 20);
+        assert_eq!(rs[1].h, 20);
+        assert_eq!(rs[2].h, 60);
+    }
+
+    #[test]
+    fn spacing_subtracted() {
+        let rs = rows(
+            Rect::new(0, 0, 10, 32),
+            &[Cell::Weight(1), Cell::Weight(1)],
+            2,
+        );
+        assert_eq!(rs[0].h + rs[1].h, 30);
+        assert_eq!(rs[1].y, rs[0].bottom() + 2);
+    }
+
+    #[test]
+    fn columns_split_width() {
+        let cs = columns(Rect::new(5, 5, 90, 20), &[Cell::Weight(1); 3], 0);
+        assert_eq!(cs.len(), 3);
+        assert!(cs.iter().all(|c| c.h == 20 && c.y == 5));
+        assert_eq!(cs[2].right(), 95);
+    }
+
+    #[test]
+    fn grid_is_row_major() {
+        let g = grid(Rect::new(0, 0, 40, 20), 2, 2, 0);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[0].origin(), uniint_raster::geom::Point::new(0, 0));
+        assert_eq!(g[1].origin(), uniint_raster::geom::Point::new(20, 0));
+        assert_eq!(g[2].origin(), uniint_raster::geom::Point::new(0, 10));
+    }
+
+    #[test]
+    fn grid_cells_disjoint() {
+        let g = grid(Rect::new(0, 0, 97, 53), 3, 4, 2);
+        for i in 0..g.len() {
+            for j in (i + 1)..g.len() {
+                assert!(!g[i].intersects(g[j]), "{} vs {}", g[i], g[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cells_empty_result() {
+        assert!(rows(Rect::new(0, 0, 10, 10), &[], 2).is_empty());
+    }
+
+    #[test]
+    fn overconstrained_degrades_gracefully() {
+        let rs = rows(
+            Rect::new(0, 0, 10, 10),
+            &[Cell::Fixed(8), Cell::Fixed(8)],
+            0,
+        );
+        assert_eq!(
+            rs.len(),
+            2,
+            "fixed cells keep their size even if they overflow"
+        );
+        assert_eq!(rs[0].h, 8);
+        assert_eq!(rs[1].h, 8);
+    }
+}

@@ -1,0 +1,34 @@
+//! # uniint-wsys
+//!
+//! A small retained-mode window system and widget toolkit — the stand-in
+//! for "traditional graphical user interface systems such as Java AWT or
+//! GTK+" in the ICDCS 2002 universal-interaction architecture.
+//!
+//! Appliance applications build control panels out of [`widgets`], place
+//! them in a [`ui::Ui`] window with [`layout`] helpers, and never learn
+//! which interaction device the user holds: the window renders into a
+//! damage-tracked framebuffer that the UniInt server exports as bitmap
+//! updates, and input arrives as universal keyboard/pointer events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod layout;
+pub mod theme;
+pub mod ui;
+pub mod widget;
+pub mod widgets;
+
+/// Convenient re-exports of the toolkit surface.
+pub mod prelude {
+    pub use crate::event::{Action, ActionEvent, WidgetId};
+    pub use crate::layout::{columns, grid, rows, Cell};
+    pub use crate::theme::Theme;
+    pub use crate::ui::Ui;
+    pub use crate::widget::Widget;
+    pub use crate::widgets::{
+        Align, Button, Checkbox, ImageView, Label, ListBox, ProgressBar, Separator, Slider,
+        Spinner, TabBar, TextField, Toggle,
+    };
+}

@@ -1,0 +1,80 @@
+//! The widget trait implemented by every control in the toolkit.
+
+use crate::event::{Action, KeyEvent, PointerEvent};
+use crate::theme::Theme;
+use std::any::Any;
+use uniint_raster::draw::Canvas;
+use uniint_raster::geom::{Rect, Size};
+
+/// Outcome of delivering an event to a widget.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventResult {
+    /// Action to report to the application, if any.
+    pub action: Option<Action>,
+    /// Whether the widget needs repainting.
+    pub repaint: bool,
+}
+
+impl EventResult {
+    /// Nothing happened.
+    pub fn ignored() -> EventResult {
+        EventResult::default()
+    }
+
+    /// Repaint, no action.
+    pub fn repaint() -> EventResult {
+        EventResult {
+            action: None,
+            repaint: true,
+        }
+    }
+
+    /// Emit an action and repaint.
+    pub fn action(action: Action) -> EventResult {
+        EventResult {
+            action: Some(action),
+            repaint: true,
+        }
+    }
+}
+
+/// A user-interface control.
+///
+/// Widgets are owned by a [`crate::ui::Ui`], which assigns their bounds,
+/// routes events in widget-local coordinates, manages focus, and collects
+/// emitted [`Action`]s. Implementations are plain state machines: no
+/// callbacks, no interior threading.
+pub trait Widget: std::fmt::Debug + Send {
+    /// Paints the widget into `canvas`, whose clip covers `bounds` (in
+    /// window coordinates).
+    fn paint(&self, canvas: &mut Canvas<'_>, bounds: Rect, theme: &Theme, focused: bool);
+
+    /// The size the widget would like to occupy.
+    fn preferred_size(&self, theme: &Theme) -> Size;
+
+    /// Whether the widget participates in keyboard focus traversal.
+    fn focusable(&self) -> bool {
+        false
+    }
+
+    /// Handles a pointer event (widget-local coordinates).
+    fn on_pointer(&mut self, _ev: PointerEvent, _bounds: Rect) -> EventResult {
+        EventResult::ignored()
+    }
+
+    /// Handles a key event while focused.
+    fn on_key(&mut self, _ev: KeyEvent) -> EventResult {
+        EventResult::ignored()
+    }
+
+    /// Called when focus enters or leaves; return true to repaint.
+    fn on_focus(&mut self, _gained: bool) -> bool {
+        false
+    }
+
+    /// Downcasting support for application-side state access.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

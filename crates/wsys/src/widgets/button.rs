@@ -1,0 +1,401 @@
+//! Activatable widgets: [`Button`] and [`Toggle`].
+
+use crate::event::{Action, KeyEvent, PointerEvent, PointerPhase};
+use crate::theme::Theme;
+use crate::widget::{EventResult, Widget};
+use std::any::Any;
+use uniint_protocol::input::KeySym;
+use uniint_raster::draw::Canvas;
+use uniint_raster::font;
+use uniint_raster::geom::{Rect, Size};
+
+/// A push button emitting [`Action::Clicked`].
+#[derive(Debug, Clone)]
+pub struct Button {
+    caption: String,
+    pressed: bool,
+    enabled: bool,
+}
+
+impl Button {
+    /// Creates an enabled button.
+    pub fn new(caption: impl Into<String>) -> Button {
+        Button {
+            caption: caption.into(),
+            pressed: false,
+            enabled: true,
+        }
+    }
+
+    /// Button caption.
+    pub fn caption(&self) -> &str {
+        &self.caption
+    }
+
+    /// Replaces the caption.
+    pub fn set_caption(&mut self, caption: impl Into<String>) {
+        self.caption = caption.into();
+    }
+
+    /// Whether the button reacts to input.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the button.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.pressed = false;
+        }
+    }
+
+    /// Whether the button is currently held down.
+    pub fn is_pressed(&self) -> bool {
+        self.pressed
+    }
+}
+
+impl Widget for Button {
+    fn paint(&self, canvas: &mut Canvas<'_>, bounds: Rect, theme: &Theme, focused: bool) {
+        canvas.fill_rect(bounds, theme.chrome);
+        canvas.bevel(bounds, theme.chrome, !self.pressed);
+        let text_color = if self.enabled {
+            theme.text
+        } else {
+            theme.disabled
+        };
+        let text_bounds = if self.pressed {
+            bounds.translate(1, 1)
+        } else {
+            bounds
+        };
+        canvas.text_centered(text_bounds, &self.caption, text_color);
+        if focused {
+            canvas.stroke_rect(bounds.inset(2), theme.focus);
+        }
+    }
+
+    fn preferred_size(&self, theme: &Theme) -> Size {
+        Size::new(
+            font::text_width(&self.caption) + 4 * theme.padding,
+            font::GLYPH_HEIGHT + 2 * theme.padding + 2,
+        )
+    }
+
+    fn focusable(&self) -> bool {
+        self.enabled
+    }
+
+    fn on_pointer(&mut self, ev: PointerEvent, _bounds: Rect) -> EventResult {
+        if !self.enabled {
+            return EventResult::ignored();
+        }
+        match ev.phase {
+            PointerPhase::Down => {
+                self.pressed = true;
+                EventResult::repaint()
+            }
+            PointerPhase::Drag => {
+                let was = self.pressed;
+                self.pressed = ev.inside;
+                if was != self.pressed {
+                    EventResult::repaint()
+                } else {
+                    EventResult::ignored()
+                }
+            }
+            PointerPhase::Up => {
+                let fire = self.pressed && ev.inside;
+                self.pressed = false;
+                if fire {
+                    EventResult::action(Action::Clicked)
+                } else {
+                    EventResult::repaint()
+                }
+            }
+            PointerPhase::Hover => EventResult::ignored(),
+        }
+    }
+
+    fn on_key(&mut self, ev: KeyEvent) -> EventResult {
+        if !self.enabled {
+            return EventResult::ignored();
+        }
+        let activate = ev.sym == KeySym::RETURN || ev.sym == KeySym::from_char(' ');
+        if !activate {
+            return EventResult::ignored();
+        }
+        if ev.down {
+            self.pressed = true;
+            EventResult::repaint()
+        } else if self.pressed {
+            self.pressed = false;
+            EventResult::action(Action::Clicked)
+        } else {
+            EventResult::ignored()
+        }
+    }
+
+    fn on_focus(&mut self, gained: bool) -> bool {
+        if !gained {
+            self.pressed = false;
+        }
+        true
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A two-state switch emitting [`Action::Toggled`].
+#[derive(Debug, Clone)]
+pub struct Toggle {
+    caption: String,
+    on: bool,
+    enabled: bool,
+}
+
+impl Toggle {
+    /// Creates a toggle in the given state.
+    pub fn new(caption: impl Into<String>, on: bool) -> Toggle {
+        Toggle {
+            caption: caption.into(),
+            on,
+            enabled: true,
+        }
+    }
+
+    /// Current state.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Sets the state without emitting an action.
+    pub fn set_on(&mut self, on: bool) {
+        self.on = on;
+    }
+
+    /// Caption text.
+    pub fn caption(&self) -> &str {
+        &self.caption
+    }
+
+    /// Enables or disables the toggle.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    fn flip(&mut self) -> EventResult {
+        self.on = !self.on;
+        EventResult::action(Action::Toggled(self.on))
+    }
+}
+
+impl Widget for Toggle {
+    fn paint(&self, canvas: &mut Canvas<'_>, bounds: Rect, theme: &Theme, focused: bool) {
+        let face = if self.on { theme.accent } else { theme.chrome };
+        canvas.fill_rect(bounds, face);
+        canvas.bevel(bounds, face, !self.on);
+        let text_color = if !self.enabled {
+            theme.disabled
+        } else if self.on {
+            theme.text_inverse
+        } else {
+            theme.text
+        };
+        canvas.text_centered(bounds, &self.caption, text_color);
+        if focused {
+            canvas.stroke_rect(bounds.inset(2), theme.focus);
+        }
+    }
+
+    fn preferred_size(&self, theme: &Theme) -> Size {
+        Size::new(
+            font::text_width(&self.caption) + 4 * theme.padding,
+            font::GLYPH_HEIGHT + 2 * theme.padding + 2,
+        )
+    }
+
+    fn focusable(&self) -> bool {
+        self.enabled
+    }
+
+    fn on_pointer(&mut self, ev: PointerEvent, _bounds: Rect) -> EventResult {
+        if !self.enabled {
+            return EventResult::ignored();
+        }
+        if ev.phase == PointerPhase::Up && ev.inside {
+            self.flip()
+        } else {
+            EventResult::ignored()
+        }
+    }
+
+    fn on_key(&mut self, ev: KeyEvent) -> EventResult {
+        if !self.enabled || !ev.down {
+            return EventResult::ignored();
+        }
+        if ev.sym == KeySym::RETURN || ev.sym == KeySym::from_char(' ') {
+            self.flip()
+        } else {
+            EventResult::ignored()
+        }
+    }
+
+    fn on_focus(&mut self, _gained: bool) -> bool {
+        true
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniint_raster::geom::Point;
+
+    fn pev(phase: PointerPhase, inside: bool) -> PointerEvent {
+        PointerEvent {
+            phase,
+            pos: Point::new(1, 1),
+            inside,
+        }
+    }
+
+    #[test]
+    fn click_fires_on_release_inside() {
+        let mut b = Button::new("Play");
+        let r = b.on_pointer(pev(PointerPhase::Down, true), Rect::new(0, 0, 10, 10));
+        assert!(r.repaint && r.action.is_none());
+        assert!(b.is_pressed());
+        let r = b.on_pointer(pev(PointerPhase::Up, true), Rect::new(0, 0, 10, 10));
+        assert_eq!(r.action, Some(Action::Clicked));
+        assert!(!b.is_pressed());
+    }
+
+    #[test]
+    fn release_outside_cancels() {
+        let mut b = Button::new("Play");
+        b.on_pointer(pev(PointerPhase::Down, true), Rect::new(0, 0, 10, 10));
+        b.on_pointer(pev(PointerPhase::Drag, false), Rect::new(0, 0, 10, 10));
+        let r = b.on_pointer(pev(PointerPhase::Up, false), Rect::new(0, 0, 10, 10));
+        assert_eq!(r.action, None);
+    }
+
+    #[test]
+    fn disabled_button_inert() {
+        let mut b = Button::new("Play");
+        b.set_enabled(false);
+        assert!(!b.focusable());
+        let r = b.on_pointer(pev(PointerPhase::Down, true), Rect::new(0, 0, 10, 10));
+        assert_eq!(r, EventResult::ignored());
+        let r = b.on_key(KeyEvent {
+            down: true,
+            sym: KeySym::RETURN,
+        });
+        assert_eq!(r, EventResult::ignored());
+    }
+
+    #[test]
+    fn keyboard_activation() {
+        let mut b = Button::new("Play");
+        let r = b.on_key(KeyEvent {
+            down: true,
+            sym: KeySym::RETURN,
+        });
+        assert!(r.repaint);
+        let r = b.on_key(KeyEvent {
+            down: false,
+            sym: KeySym::RETURN,
+        });
+        assert_eq!(r.action, Some(Action::Clicked));
+    }
+
+    #[test]
+    fn space_also_activates() {
+        let mut b = Button::new("Play");
+        b.on_key(KeyEvent {
+            down: true,
+            sym: ' '.into(),
+        });
+        let r = b.on_key(KeyEvent {
+            down: false,
+            sym: ' '.into(),
+        });
+        assert_eq!(r.action, Some(Action::Clicked));
+    }
+
+    #[test]
+    fn other_keys_ignored() {
+        let mut b = Button::new("Play");
+        let r = b.on_key(KeyEvent {
+            down: true,
+            sym: 'x'.into(),
+        });
+        assert_eq!(r, EventResult::ignored());
+    }
+
+    #[test]
+    fn losing_focus_releases_press() {
+        let mut b = Button::new("Play");
+        b.on_key(KeyEvent {
+            down: true,
+            sym: KeySym::RETURN,
+        });
+        assert!(b.is_pressed());
+        b.on_focus(false);
+        assert!(!b.is_pressed());
+        // The release after focus loss must not fire.
+        let r = b.on_key(KeyEvent {
+            down: false,
+            sym: KeySym::RETURN,
+        });
+        assert_eq!(r.action, None);
+    }
+
+    #[test]
+    fn toggle_flips_on_click_and_key() {
+        let mut t = Toggle::new("Mute", false);
+        let r = t.on_pointer(pev(PointerPhase::Up, true), Rect::new(0, 0, 10, 10));
+        assert_eq!(r.action, Some(Action::Toggled(true)));
+        assert!(t.is_on());
+        let r = t.on_key(KeyEvent {
+            down: true,
+            sym: KeySym::RETURN,
+        });
+        assert_eq!(r.action, Some(Action::Toggled(false)));
+        assert!(!t.is_on());
+    }
+
+    #[test]
+    fn toggle_set_on_is_silent() {
+        let mut t = Toggle::new("Mute", false);
+        t.set_on(true);
+        assert!(t.is_on());
+    }
+
+    #[test]
+    fn toggle_paint_differs_by_state() {
+        use uniint_raster::color::Color;
+        use uniint_raster::framebuffer::Framebuffer;
+        let theme = Theme::classic();
+        let mut fb_off = Framebuffer::new(40, 16, Color::WHITE);
+        let mut fb_on = Framebuffer::new(40, 16, Color::WHITE);
+        let bounds = Rect::new(0, 0, 40, 16);
+        Toggle::new("M", false).paint(&mut Canvas::new(&mut fb_off), bounds, &theme, false);
+        Toggle::new("M", true).paint(&mut Canvas::new(&mut fb_on), bounds, &theme, false);
+        assert_ne!(fb_off, fb_on);
+    }
+}

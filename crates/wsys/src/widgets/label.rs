@@ -1,0 +1,272 @@
+//! Non-interactive widgets: [`Label`], [`Separator`] and [`ProgressBar`].
+
+use crate::event::Action;
+use crate::theme::Theme;
+use crate::widget::Widget;
+use std::any::Any;
+use uniint_raster::draw::Canvas;
+use uniint_raster::font;
+use uniint_raster::geom::{Rect, Size};
+
+/// Horizontal text alignment inside a widget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Flush left.
+    Left,
+    /// Centered.
+    #[default]
+    Center,
+    /// Flush right.
+    Right,
+}
+
+/// A line of static text.
+#[derive(Debug, Clone)]
+pub struct Label {
+    text: String,
+    align: Align,
+}
+
+impl Label {
+    /// Creates a centered label.
+    pub fn new(text: impl Into<String>) -> Label {
+        Label {
+            text: text.into(),
+            align: Align::Center,
+        }
+    }
+
+    /// Creates a label with explicit alignment.
+    pub fn with_align(text: impl Into<String>, align: Align) -> Label {
+        Label {
+            text: text.into(),
+            align,
+        }
+    }
+
+    /// Current text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Replaces the text.
+    pub fn set_text(&mut self, text: impl Into<String>) {
+        self.text = text.into();
+    }
+}
+
+impl Widget for Label {
+    fn paint(&self, canvas: &mut Canvas<'_>, bounds: Rect, theme: &Theme, _focused: bool) {
+        let tw = font::text_width(&self.text) as i32;
+        let x = match self.align {
+            Align::Left => bounds.x,
+            Align::Center => bounds.x + (bounds.w as i32 - tw) / 2,
+            Align::Right => bounds.right() - tw,
+        };
+        let y = bounds.y + (bounds.h as i32 - font::GLYPH_HEIGHT as i32) / 2;
+        canvas.clipped(bounds, |canvas| {
+            canvas.text(
+                uniint_raster::geom::Point::new(x.max(bounds.x), y),
+                &self.text,
+                theme.text,
+            );
+        });
+    }
+
+    fn preferred_size(&self, theme: &Theme) -> Size {
+        Size::new(
+            font::text_width(&self.text) + 2 * theme.padding,
+            font::LINE_HEIGHT + 2,
+        )
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A thin horizontal rule.
+#[derive(Debug, Clone, Default)]
+pub struct Separator;
+
+impl Separator {
+    /// Creates a separator.
+    pub fn new() -> Separator {
+        Separator
+    }
+}
+
+impl Widget for Separator {
+    fn paint(&self, canvas: &mut Canvas<'_>, bounds: Rect, theme: &Theme, _focused: bool) {
+        let y = bounds.y + bounds.h as i32 / 2;
+        canvas.hline(y, bounds.x, bounds.right(), theme.chrome.darken());
+        canvas.hline(y + 1, bounds.x, bounds.right(), theme.chrome.lighten());
+    }
+
+    fn preferred_size(&self, _theme: &Theme) -> Size {
+        Size::new(16, 4)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A read-only progress/level meter (volume bars, timers).
+#[derive(Debug, Clone)]
+pub struct ProgressBar {
+    min: i32,
+    max: i32,
+    value: i32,
+}
+
+impl ProgressBar {
+    /// Creates a meter over `min..=max` starting at `value` (clamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max`.
+    pub fn new(min: i32, max: i32, value: i32) -> ProgressBar {
+        assert!(min < max, "progress range must be non-empty");
+        ProgressBar {
+            min,
+            max,
+            value: value.clamp(min, max),
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i32 {
+        self.value
+    }
+
+    /// Sets the value, clamped to the range.
+    pub fn set_value(&mut self, value: i32) {
+        self.value = value.clamp(self.min, self.max);
+    }
+
+    /// Fraction filled in `0..=1`.
+    pub fn fraction(&self) -> f64 {
+        (self.value - self.min) as f64 / (self.max - self.min) as f64
+    }
+}
+
+impl Widget for ProgressBar {
+    fn paint(&self, canvas: &mut Canvas<'_>, bounds: Rect, theme: &Theme, _focused: bool) {
+        canvas.fill_rect(bounds, theme.chrome.darken());
+        canvas.bevel(bounds, theme.chrome, false);
+        let inner = bounds.inset(2);
+        let filled = (inner.w as f64 * self.fraction()) as u32;
+        if filled > 0 {
+            canvas.fill_rect(Rect::new(inner.x, inner.y, filled, inner.h), theme.accent);
+        }
+    }
+
+    fn preferred_size(&self, _theme: &Theme) -> Size {
+        Size::new(64, 12)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// Suppress unused import warning: Action is part of the widgets' shared
+// vocabulary even though these three never emit one.
+const _: Option<Action> = None;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniint_raster::color::Color;
+    use uniint_raster::framebuffer::Framebuffer;
+
+    #[test]
+    fn label_text_accessors() {
+        let mut l = Label::new("TV");
+        assert_eq!(l.text(), "TV");
+        l.set_text("VCR");
+        assert_eq!(l.text(), "VCR");
+    }
+
+    #[test]
+    fn label_paints_ink_within_bounds() {
+        let mut fb = Framebuffer::new(60, 20, Color::WHITE);
+        let theme = Theme::classic();
+        let bounds = Rect::new(5, 5, 50, 12);
+        let label = Label::new("hi");
+        label.paint(&mut Canvas::new(&mut fb), bounds, &theme, false);
+        let mut ink = 0;
+        for (i, &p) in fb.pixels().iter().enumerate() {
+            if p == theme.text {
+                ink += 1;
+                let pt = uniint_raster::geom::Point::new((i % 60) as i32, (i / 60) as i32);
+                assert!(bounds.contains(pt), "ink outside bounds at {pt}");
+            }
+        }
+        assert!(ink > 4);
+    }
+
+    #[test]
+    fn label_preferred_size_tracks_text() {
+        let theme = Theme::classic();
+        assert!(
+            Label::new("long caption").preferred_size(&theme).w
+                > Label::new("x").preferred_size(&theme).w
+        );
+    }
+
+    #[test]
+    fn progress_clamps() {
+        let mut p = ProgressBar::new(0, 10, 99);
+        assert_eq!(p.value(), 10);
+        p.set_value(-5);
+        assert_eq!(p.value(), 0);
+        assert_eq!(p.fraction(), 0.0);
+        p.set_value(5);
+        assert!((p.fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn progress_empty_range_panics() {
+        ProgressBar::new(5, 5, 5);
+    }
+
+    #[test]
+    fn progress_paints_accent_proportional() {
+        let theme = Theme::classic();
+        let mut fb = Framebuffer::new(100, 12, Color::WHITE);
+        let p = ProgressBar::new(0, 100, 50);
+        p.paint(
+            &mut Canvas::new(&mut fb),
+            Rect::new(0, 0, 100, 12),
+            &theme,
+            false,
+        );
+        let accented = fb.pixels().iter().filter(|&&c| c == theme.accent).count();
+        assert!(
+            accented > 200,
+            "half-filled bar should paint accent: {accented}"
+        );
+    }
+
+    #[test]
+    fn widgets_are_not_focusable() {
+        assert!(!Label::new("x").focusable());
+        assert!(!Separator::new().focusable());
+        assert!(!ProgressBar::new(0, 1, 0).focusable());
+    }
+}

@@ -1,0 +1,299 @@
+//! [`ListBox`]: a scrollable single-selection list (channel lists, track
+//! lists, appliance pickers).
+
+use crate::event::{Action, KeyEvent, PointerEvent, PointerPhase};
+use crate::theme::Theme;
+use crate::widget::{EventResult, Widget};
+use std::any::Any;
+use uniint_protocol::input::KeySym;
+use uniint_raster::draw::Canvas;
+use uniint_raster::font;
+use uniint_raster::geom::{Point, Rect, Size};
+
+/// Pixel height of one list row.
+const ROW_H: u32 = font::GLYPH_HEIGHT + 4;
+
+/// A single-selection list emitting [`Action::Selected`].
+#[derive(Debug, Clone)]
+pub struct ListBox {
+    items: Vec<String>,
+    selected: Option<usize>,
+    scroll: usize,
+}
+
+impl ListBox {
+    /// Creates a list with nothing selected.
+    pub fn new(items: Vec<String>) -> ListBox {
+        ListBox {
+            items,
+            selected: None,
+            scroll: 0,
+        }
+    }
+
+    /// The items.
+    pub fn items(&self) -> &[String] {
+        &self.items
+    }
+
+    /// Replaces all items, clearing the selection if out of range.
+    pub fn set_items(&mut self, items: Vec<String>) {
+        if let Some(s) = self.selected {
+            if s >= items.len() {
+                self.selected = None;
+            }
+        }
+        self.scroll = self.scroll.min(items.len().saturating_sub(1));
+        self.items = items;
+    }
+
+    /// Currently selected row.
+    pub fn selected(&self) -> Option<usize> {
+        self.selected
+    }
+
+    /// Sets the selection silently, clamping out-of-range to `None`.
+    pub fn set_selected(&mut self, index: Option<usize>) {
+        self.selected = index.filter(|&i| i < self.items.len());
+    }
+
+    /// First visible row (scroll offset).
+    pub fn scroll(&self) -> usize {
+        self.scroll
+    }
+
+    fn rows_visible(bounds: Rect) -> usize {
+        (bounds.h.saturating_sub(4) / ROW_H).max(1) as usize
+    }
+
+    fn select(&mut self, index: usize, bounds: Rect) -> EventResult {
+        if index >= self.items.len() {
+            return EventResult::ignored();
+        }
+        let vis = Self::rows_visible(bounds);
+        if index < self.scroll {
+            self.scroll = index;
+        } else if index >= self.scroll + vis {
+            self.scroll = index + 1 - vis;
+        }
+        if self.selected == Some(index) {
+            return EventResult::repaint();
+        }
+        self.selected = Some(index);
+        EventResult::action(Action::Selected(index))
+    }
+}
+
+impl Widget for ListBox {
+    fn paint(&self, canvas: &mut Canvas<'_>, bounds: Rect, theme: &Theme, focused: bool) {
+        canvas.fill_rect(bounds, theme.text_inverse);
+        canvas.bevel(bounds, theme.chrome, false);
+        let inner = bounds.inset(2);
+        canvas.clipped(inner, |canvas| {
+            for (row, item) in self.items.iter().enumerate().skip(self.scroll) {
+                let y = inner.y + ((row - self.scroll) as u32 * ROW_H) as i32;
+                if y >= inner.bottom() {
+                    break;
+                }
+                let row_rect = Rect::new(inner.x, y, inner.w, ROW_H);
+                let selected = self.selected == Some(row);
+                if selected {
+                    canvas.fill_rect(row_rect, theme.accent);
+                }
+                let color = if selected {
+                    theme.text_inverse
+                } else {
+                    theme.text
+                };
+                canvas.text(Point::new(inner.x + 3, y + 2), item, color);
+            }
+        });
+        if focused {
+            canvas.stroke_rect(bounds, theme.focus);
+        }
+    }
+
+    fn preferred_size(&self, theme: &Theme) -> Size {
+        let w = self
+            .items
+            .iter()
+            .map(|s| font::text_width(s))
+            .max()
+            .unwrap_or(40)
+            + 2 * theme.padding
+            + 6;
+        let h = (self.items.len().clamp(2, 6) as u32) * ROW_H + 4;
+        Size::new(w, h)
+    }
+
+    fn focusable(&self) -> bool {
+        true
+    }
+
+    fn on_pointer(&mut self, ev: PointerEvent, bounds: Rect) -> EventResult {
+        if ev.phase != PointerPhase::Down {
+            return EventResult::ignored();
+        }
+        let local_bounds = Rect::new(0, 0, bounds.w, bounds.h);
+        if !local_bounds.contains(ev.pos) {
+            return EventResult::ignored();
+        }
+        let row = self.scroll + ((ev.pos.y - 2).max(0) as u32 / ROW_H) as usize;
+        self.select(row, bounds)
+    }
+
+    fn on_key(&mut self, ev: KeyEvent) -> EventResult {
+        if !ev.down || self.items.is_empty() {
+            return EventResult::ignored();
+        }
+        // Key handlers see a nominal 6-row viewport; pointer paths use real
+        // bounds. Exact scroll is re-clamped at paint time.
+        let nominal = Rect::new(0, 0, 100, 6 * ROW_H + 4);
+        match ev.sym {
+            s if s == KeySym::UP => {
+                let cur = self.selected.unwrap_or(0);
+                self.select(
+                    cur.saturating_sub(usize::from(self.selected.is_some())),
+                    nominal,
+                )
+            }
+            s if s == KeySym::DOWN => {
+                let next = match self.selected {
+                    None => 0,
+                    Some(i) => (i + 1).min(self.items.len() - 1),
+                };
+                self.select(next, nominal)
+            }
+            s if s == KeySym::HOME => self.select(0, nominal),
+            s if s == KeySym::END => self.select(self.items.len() - 1, nominal),
+            _ => EventResult::ignored(),
+        }
+    }
+
+    fn on_focus(&mut self, _gained: bool) -> bool {
+        true
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(n: usize) -> ListBox {
+        ListBox::new((0..n).map(|i| format!("item {i}")).collect())
+    }
+
+    fn key(sym: KeySym) -> KeyEvent {
+        KeyEvent { down: true, sym }
+    }
+
+    #[test]
+    fn down_selects_first_then_advances() {
+        let mut l = list(3);
+        assert_eq!(
+            l.on_key(key(KeySym::DOWN)).action,
+            Some(Action::Selected(0))
+        );
+        assert_eq!(
+            l.on_key(key(KeySym::DOWN)).action,
+            Some(Action::Selected(1))
+        );
+        assert_eq!(
+            l.on_key(key(KeySym::DOWN)).action,
+            Some(Action::Selected(2))
+        );
+        // Clamped at end: repaint but no action.
+        assert_eq!(l.on_key(key(KeySym::DOWN)).action, None);
+        assert_eq!(l.selected(), Some(2));
+    }
+
+    #[test]
+    fn up_moves_back_and_clamps() {
+        let mut l = list(3);
+        l.set_selected(Some(2));
+        assert_eq!(l.on_key(key(KeySym::UP)).action, Some(Action::Selected(1)));
+        l.set_selected(Some(0));
+        assert_eq!(l.on_key(key(KeySym::UP)).action, None);
+    }
+
+    #[test]
+    fn home_end() {
+        let mut l = list(10);
+        assert_eq!(l.on_key(key(KeySym::END)).action, Some(Action::Selected(9)));
+        assert_eq!(
+            l.on_key(key(KeySym::HOME)).action,
+            Some(Action::Selected(0))
+        );
+    }
+
+    #[test]
+    fn selection_scrolls_viewport() {
+        let mut l = list(30);
+        l.on_key(key(KeySym::END));
+        assert!(l.scroll() > 0, "selecting the last row must scroll");
+        l.on_key(key(KeySym::HOME));
+        assert_eq!(l.scroll(), 0);
+    }
+
+    #[test]
+    fn pointer_selects_row() {
+        let mut l = list(5);
+        let bounds = Rect::new(0, 0, 80, 80);
+        let ev = PointerEvent {
+            phase: PointerPhase::Down,
+            pos: Point::new(10, 2 + ROW_H as i32 + 1),
+            inside: true,
+        };
+        assert_eq!(l.on_pointer(ev, bounds).action, Some(Action::Selected(1)));
+    }
+
+    #[test]
+    fn pointer_past_items_ignored() {
+        let mut l = list(2);
+        let bounds = Rect::new(0, 0, 80, 200);
+        let ev = PointerEvent {
+            phase: PointerPhase::Down,
+            pos: Point::new(10, 150),
+            inside: true,
+        };
+        assert_eq!(l.on_pointer(ev, bounds), EventResult::ignored());
+    }
+
+    #[test]
+    fn reselect_same_row_no_action() {
+        let mut l = list(3);
+        l.on_key(key(KeySym::DOWN));
+        let bounds = Rect::new(0, 0, 80, 80);
+        let ev = PointerEvent {
+            phase: PointerPhase::Down,
+            pos: Point::new(5, 3),
+            inside: true,
+        };
+        let r = l.on_pointer(ev, bounds);
+        assert_eq!(r.action, None, "same row: no duplicate Selected action");
+        assert!(r.repaint);
+    }
+
+    #[test]
+    fn set_items_fixes_selection() {
+        let mut l = list(5);
+        l.set_selected(Some(4));
+        l.set_items(vec!["only".into()]);
+        assert_eq!(l.selected(), None);
+        assert_eq!(l.items().len(), 1);
+    }
+
+    #[test]
+    fn empty_list_keys_ignored() {
+        let mut l = list(0);
+        assert_eq!(l.on_key(key(KeySym::DOWN)), EventResult::ignored());
+    }
+}

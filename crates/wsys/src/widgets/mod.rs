@@ -1,0 +1,18 @@
+//! The widget set: labels, buttons, toggles, sliders, lists and text
+//! fields — the vocabulary appliance control panels are built from.
+
+pub mod button;
+pub mod label;
+pub mod listbox;
+pub mod misc;
+pub mod slider;
+pub mod tabbar;
+pub mod textfield;
+
+pub use button::{Button, Toggle};
+pub use label::{Align, Label, ProgressBar, Separator};
+pub use listbox::ListBox;
+pub use misc::{Checkbox, ImageView, Spinner};
+pub use slider::Slider;
+pub use tabbar::TabBar;
+pub use textfield::TextField;

@@ -1,0 +1,280 @@
+//! [`Slider`]: a horizontal ranged control (volume, channel, brightness).
+
+use crate::event::{Action, KeyEvent, PointerEvent, PointerPhase};
+use crate::theme::Theme;
+use crate::widget::{EventResult, Widget};
+use std::any::Any;
+use uniint_protocol::input::KeySym;
+use uniint_raster::draw::Canvas;
+use uniint_raster::geom::{Rect, Size};
+
+/// A horizontal slider emitting [`Action::ValueChanged`].
+#[derive(Debug, Clone)]
+pub struct Slider {
+    min: i32,
+    max: i32,
+    value: i32,
+    step: i32,
+    dragging: bool,
+}
+
+impl Slider {
+    /// Creates a slider over `min..=max` with arrow-key step `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max` or `step <= 0`.
+    pub fn new(min: i32, max: i32, value: i32, step: i32) -> Slider {
+        assert!(min < max, "slider range must be non-empty");
+        assert!(step > 0, "slider step must be positive");
+        Slider {
+            min,
+            max,
+            value: value.clamp(min, max),
+            step,
+            dragging: false,
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i32 {
+        self.value
+    }
+
+    /// Sets the value silently (no action emitted), clamped.
+    pub fn set_value(&mut self, value: i32) {
+        self.value = value.clamp(self.min, self.max);
+    }
+
+    /// Range minimum.
+    pub fn min(&self) -> i32 {
+        self.min
+    }
+
+    /// Range maximum.
+    pub fn max(&self) -> i32 {
+        self.max
+    }
+
+    fn value_at(&self, x: i32, bounds_w: u32) -> i32 {
+        let usable = bounds_w.saturating_sub(8).max(1) as i64;
+        let rel = (x - 4).clamp(0, usable as i32) as i64;
+        (self.min as i64 + rel * (self.max - self.min) as i64 / usable) as i32
+    }
+
+    fn knob_x(&self, bounds_w: u32) -> i32 {
+        let usable = bounds_w.saturating_sub(8).max(1) as i64;
+        4 + (usable * (self.value - self.min) as i64 / (self.max - self.min) as i64) as i32
+    }
+
+    fn change_to(&mut self, v: i32) -> EventResult {
+        let v = v.clamp(self.min, self.max);
+        if v == self.value {
+            return EventResult::ignored();
+        }
+        self.value = v;
+        EventResult::action(Action::ValueChanged(v))
+    }
+}
+
+impl Widget for Slider {
+    fn paint(&self, canvas: &mut Canvas<'_>, bounds: Rect, theme: &Theme, focused: bool) {
+        canvas.fill_rect(bounds, theme.background);
+        // Track.
+        let track_y = bounds.y + bounds.h as i32 / 2 - 2;
+        let track = Rect::new(bounds.x + 2, track_y, bounds.w.saturating_sub(4), 4);
+        canvas.fill_rect(track, theme.chrome.darken());
+        canvas.bevel(track, theme.chrome, false);
+        // Filled portion.
+        let kx = self.knob_x(bounds.w);
+        let filled = Rect::new(track.x, track.y + 1, (kx - 2).max(0) as u32, 2);
+        canvas.fill_rect(filled, theme.accent);
+        // Knob.
+        let knob = Rect::new(
+            bounds.x + kx - 3,
+            bounds.y + 2,
+            7,
+            bounds.h.saturating_sub(4),
+        );
+        canvas.fill_rect(knob, theme.chrome);
+        canvas.bevel(knob, theme.chrome, !self.dragging);
+        if focused {
+            canvas.stroke_rect(bounds, theme.focus);
+        }
+    }
+
+    fn preferred_size(&self, _theme: &Theme) -> Size {
+        Size::new(80, 16)
+    }
+
+    fn focusable(&self) -> bool {
+        true
+    }
+
+    fn on_pointer(&mut self, ev: PointerEvent, bounds: Rect) -> EventResult {
+        match ev.phase {
+            PointerPhase::Down => {
+                self.dragging = true;
+                let mut r = self.change_to(self.value_at(ev.pos.x, bounds.w));
+                r.repaint = true;
+                r
+            }
+            PointerPhase::Drag if self.dragging => {
+                self.change_to(self.value_at(ev.pos.x, bounds.w))
+            }
+            PointerPhase::Up => {
+                self.dragging = false;
+                EventResult::repaint()
+            }
+            _ => EventResult::ignored(),
+        }
+    }
+
+    fn on_key(&mut self, ev: KeyEvent) -> EventResult {
+        if !ev.down {
+            return EventResult::ignored();
+        }
+        match ev.sym {
+            s if s == KeySym::LEFT => self.change_to(self.value - self.step),
+            s if s == KeySym::RIGHT => self.change_to(self.value + self.step),
+            s if s == KeySym::HOME => self.change_to(self.min),
+            s if s == KeySym::END => self.change_to(self.max),
+            _ => EventResult::ignored(),
+        }
+    }
+
+    fn on_focus(&mut self, gained: bool) -> bool {
+        if !gained {
+            self.dragging = false;
+        }
+        true
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniint_raster::geom::Point;
+
+    fn pev(phase: PointerPhase, x: i32) -> PointerEvent {
+        PointerEvent {
+            phase,
+            pos: Point::new(x, 8),
+            inside: true,
+        }
+    }
+
+    #[test]
+    fn arrow_keys_step() {
+        let mut s = Slider::new(0, 100, 50, 5);
+        let r = s.on_key(KeyEvent {
+            down: true,
+            sym: KeySym::RIGHT,
+        });
+        assert_eq!(r.action, Some(Action::ValueChanged(55)));
+        let r = s.on_key(KeyEvent {
+            down: true,
+            sym: KeySym::LEFT,
+        });
+        assert_eq!(r.action, Some(Action::ValueChanged(50)));
+    }
+
+    #[test]
+    fn home_end_jump() {
+        let mut s = Slider::new(-10, 10, 0, 1);
+        assert_eq!(
+            s.on_key(KeyEvent {
+                down: true,
+                sym: KeySym::END
+            })
+            .action,
+            Some(Action::ValueChanged(10))
+        );
+        assert_eq!(
+            s.on_key(KeyEvent {
+                down: true,
+                sym: KeySym::HOME
+            })
+            .action,
+            Some(Action::ValueChanged(-10))
+        );
+    }
+
+    #[test]
+    fn clamped_at_ends_no_action() {
+        let mut s = Slider::new(0, 10, 10, 3);
+        let r = s.on_key(KeyEvent {
+            down: true,
+            sym: KeySym::RIGHT,
+        });
+        assert_eq!(r, EventResult::ignored());
+    }
+
+    #[test]
+    fn key_release_ignored() {
+        let mut s = Slider::new(0, 10, 5, 1);
+        let r = s.on_key(KeyEvent {
+            down: false,
+            sym: KeySym::RIGHT,
+        });
+        assert_eq!(r, EventResult::ignored());
+    }
+
+    #[test]
+    fn pointer_down_seeks() {
+        let bounds = Rect::new(0, 0, 108, 16); // usable = 100
+        let mut s = Slider::new(0, 100, 0, 1);
+        let r = s.on_pointer(pev(PointerPhase::Down, 54), bounds);
+        assert_eq!(r.action, Some(Action::ValueChanged(50)));
+        let r = s.on_pointer(pev(PointerPhase::Drag, 104), bounds);
+        assert_eq!(r.action, Some(Action::ValueChanged(100)));
+        let r = s.on_pointer(pev(PointerPhase::Up, 104), bounds);
+        assert_eq!(r.action, None);
+    }
+
+    #[test]
+    fn drag_without_press_ignored() {
+        let mut s = Slider::new(0, 100, 0, 1);
+        let r = s.on_pointer(pev(PointerPhase::Drag, 50), Rect::new(0, 0, 108, 16));
+        assert_eq!(r, EventResult::ignored());
+    }
+
+    #[test]
+    fn drag_beyond_ends_clamps() {
+        let bounds = Rect::new(0, 0, 108, 16);
+        let mut s = Slider::new(0, 100, 50, 1);
+        s.on_pointer(pev(PointerPhase::Down, 54), bounds);
+        let r = s.on_pointer(pev(PointerPhase::Drag, -50), bounds);
+        assert_eq!(r.action, Some(Action::ValueChanged(0)));
+    }
+
+    #[test]
+    fn set_value_is_silent_and_clamped() {
+        let mut s = Slider::new(0, 10, 5, 1);
+        s.set_value(100);
+        assert_eq!(s.value(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_panics() {
+        Slider::new(0, 10, 0, 0);
+    }
+
+    #[test]
+    fn knob_position_monotone() {
+        let s0 = Slider::new(0, 100, 0, 1);
+        let s50 = Slider::new(0, 100, 50, 1);
+        let s100 = Slider::new(0, 100, 100, 1);
+        assert!(s0.knob_x(100) < s50.knob_x(100));
+        assert!(s50.knob_x(100) < s100.knob_x(100));
+    }
+}

@@ -1,0 +1,239 @@
+//! [`TabBar`]: a horizontal row of page tabs emitting
+//! [`Action::Selected`].
+
+use crate::event::{Action, KeyEvent, PointerEvent, PointerPhase};
+use crate::theme::Theme;
+use crate::widget::{EventResult, Widget};
+use std::any::Any;
+use uniint_protocol::input::KeySym;
+use uniint_raster::draw::Canvas;
+use uniint_raster::font;
+use uniint_raster::geom::{Rect, Size};
+
+/// A tab strip. The selected tab is drawn raised and connected to the
+/// content below.
+#[derive(Debug, Clone)]
+pub struct TabBar {
+    labels: Vec<String>,
+    selected: usize,
+}
+
+impl TabBar {
+    /// Creates a tab bar with the first tab selected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty.
+    pub fn new(labels: Vec<String>) -> TabBar {
+        assert!(!labels.is_empty(), "tab bar needs at least one tab");
+        TabBar {
+            labels,
+            selected: 0,
+        }
+    }
+
+    /// Tab captions.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Selected tab index.
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+
+    /// Sets the selection silently, clamped to range.
+    pub fn set_selected(&mut self, index: usize) {
+        self.selected = index.min(self.labels.len() - 1);
+    }
+
+    fn tab_width(&self, bounds_w: u32) -> u32 {
+        (bounds_w / self.labels.len() as u32).max(8)
+    }
+
+    fn select(&mut self, index: usize) -> EventResult {
+        if index >= self.labels.len() || index == self.selected {
+            return EventResult::ignored();
+        }
+        self.selected = index;
+        EventResult::action(Action::Selected(index))
+    }
+}
+
+impl Widget for TabBar {
+    fn paint(&self, canvas: &mut Canvas<'_>, bounds: Rect, theme: &Theme, focused: bool) {
+        canvas.fill_rect(bounds, theme.background);
+        let tw = self.tab_width(bounds.w);
+        for (i, label) in self.labels.iter().enumerate() {
+            let x = bounds.x + (i as u32 * tw) as i32;
+            let selected = i == self.selected;
+            let tab = if selected {
+                Rect::new(x, bounds.y, tw, bounds.h)
+            } else {
+                Rect::new(x, bounds.y + 2, tw, bounds.h.saturating_sub(2))
+            };
+            let face = if selected {
+                theme.chrome.lighten()
+            } else {
+                theme.chrome
+            };
+            canvas.fill_rect(tab, face);
+            canvas.bevel(tab, face, true);
+            let color = if selected { theme.text } else { theme.disabled };
+            canvas.text_centered(tab, label, color);
+            if selected && focused {
+                canvas.stroke_rect(tab.inset(2), theme.focus);
+            }
+        }
+        // Baseline under unselected tabs to suggest the page edge.
+        canvas.hline(
+            bounds.bottom() - 1,
+            bounds.x,
+            bounds.right(),
+            theme.chrome.darken(),
+        );
+    }
+
+    fn preferred_size(&self, theme: &Theme) -> Size {
+        let widest = self
+            .labels
+            .iter()
+            .map(|l| font::text_width(l))
+            .max()
+            .unwrap_or(20);
+        Size::new(
+            (widest + 2 * theme.padding) * self.labels.len() as u32,
+            font::GLYPH_HEIGHT + 2 * theme.padding + 2,
+        )
+    }
+
+    fn focusable(&self) -> bool {
+        true
+    }
+
+    fn on_pointer(&mut self, ev: PointerEvent, bounds: Rect) -> EventResult {
+        if ev.phase != PointerPhase::Down {
+            return EventResult::ignored();
+        }
+        let tw = self.tab_width(bounds.w) as i32;
+        if ev.pos.x < 0 {
+            return EventResult::ignored();
+        }
+        self.select((ev.pos.x / tw) as usize)
+    }
+
+    fn on_key(&mut self, ev: KeyEvent) -> EventResult {
+        if !ev.down {
+            return EventResult::ignored();
+        }
+        match ev.sym {
+            s if s == KeySym::LEFT => {
+                if self.selected == 0 {
+                    EventResult::ignored()
+                } else {
+                    self.select(self.selected - 1)
+                }
+            }
+            s if s == KeySym::RIGHT => self.select(self.selected + 1),
+            s if s == KeySym::HOME => self.select(0),
+            s if s == KeySym::END => self.select(self.labels.len() - 1),
+            _ => EventResult::ignored(),
+        }
+    }
+
+    fn on_focus(&mut self, _gained: bool) -> bool {
+        true
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniint_raster::geom::Point;
+
+    fn bar() -> TabBar {
+        TabBar::new(vec!["TV".into(), "VCR".into(), "Amp".into()])
+    }
+
+    fn key(sym: KeySym) -> KeyEvent {
+        KeyEvent { down: true, sym }
+    }
+
+    #[test]
+    fn arrows_move_selection() {
+        let mut t = bar();
+        assert_eq!(
+            t.on_key(key(KeySym::RIGHT)).action,
+            Some(Action::Selected(1))
+        );
+        assert_eq!(
+            t.on_key(key(KeySym::RIGHT)).action,
+            Some(Action::Selected(2))
+        );
+        assert_eq!(
+            t.on_key(key(KeySym::RIGHT)),
+            EventResult::ignored(),
+            "clamped"
+        );
+        assert_eq!(
+            t.on_key(key(KeySym::HOME)).action,
+            Some(Action::Selected(0))
+        );
+        assert_eq!(t.on_key(key(KeySym::LEFT)), EventResult::ignored());
+    }
+
+    #[test]
+    fn pointer_selects_tab() {
+        let mut t = bar();
+        let bounds = Rect::new(0, 0, 90, 16); // 30px per tab
+        let ev = PointerEvent {
+            phase: PointerPhase::Down,
+            pos: Point::new(65, 8),
+            inside: true,
+        };
+        assert_eq!(t.on_pointer(ev, bounds).action, Some(Action::Selected(2)));
+        // Same tab again: no action.
+        let ev2 = PointerEvent {
+            phase: PointerPhase::Down,
+            pos: Point::new(70, 8),
+            inside: true,
+        };
+        assert_eq!(t.on_pointer(ev2, bounds), EventResult::ignored());
+    }
+
+    #[test]
+    fn set_selected_clamps() {
+        let mut t = bar();
+        t.set_selected(99);
+        assert_eq!(t.selected(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_tabbar_panics() {
+        TabBar::new(vec![]);
+    }
+
+    #[test]
+    fn paint_differs_by_selection() {
+        use uniint_raster::color::Color;
+        use uniint_raster::framebuffer::Framebuffer;
+        let theme = Theme::classic();
+        let bounds = Rect::new(0, 0, 90, 16);
+        let mut fb_a = Framebuffer::new(90, 16, Color::WHITE);
+        let mut fb_b = Framebuffer::new(90, 16, Color::WHITE);
+        bar().paint(&mut Canvas::new(&mut fb_a), bounds, &theme, false);
+        let mut t = bar();
+        t.set_selected(2);
+        t.paint(&mut Canvas::new(&mut fb_b), bounds, &theme, false);
+        assert_ne!(fb_a, fb_b);
+    }
+}

@@ -1,0 +1,298 @@
+//! [`TextField`]: single-line text entry (device names, channel numbers).
+
+use crate::event::{Action, KeyEvent, PointerEvent, PointerPhase};
+use crate::theme::Theme;
+use crate::widget::{EventResult, Widget};
+use std::any::Any;
+use uniint_protocol::input::KeySym;
+use uniint_raster::draw::Canvas;
+use uniint_raster::font;
+use uniint_raster::geom::{Point, Rect, Size};
+
+/// A single-line editable text field emitting [`Action::TextChanged`] on
+/// every edit and [`Action::Submitted`] on Return.
+#[derive(Debug, Clone)]
+pub struct TextField {
+    text: String,
+    cursor: usize, // byte offset, always on a char boundary
+    max_len: usize,
+}
+
+impl TextField {
+    /// Creates a field with initial `text` and a maximum of 256 chars.
+    pub fn new(text: impl Into<String>) -> TextField {
+        let text = text.into();
+        let cursor = text.len();
+        TextField {
+            text,
+            cursor,
+            max_len: 256,
+        }
+    }
+
+    /// Restricts the maximum number of characters.
+    pub fn with_max_len(mut self, max_len: usize) -> TextField {
+        self.max_len = max_len;
+        self
+    }
+
+    /// Current content.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Replaces the content silently and moves the cursor to the end.
+    pub fn set_text(&mut self, text: impl Into<String>) {
+        self.text = text.into();
+        self.cursor = self.text.len();
+    }
+
+    /// Cursor position as a character index.
+    pub fn cursor_chars(&self) -> usize {
+        self.text[..self.cursor].chars().count()
+    }
+
+    fn prev_boundary(&self) -> usize {
+        self.text[..self.cursor]
+            .char_indices()
+            .last()
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn next_boundary(&self) -> usize {
+        self.text[self.cursor..]
+            .chars()
+            .next()
+            .map(|c| self.cursor + c.len_utf8())
+            .unwrap_or(self.cursor)
+    }
+}
+
+impl Widget for TextField {
+    fn paint(&self, canvas: &mut Canvas<'_>, bounds: Rect, theme: &Theme, focused: bool) {
+        canvas.fill_rect(bounds, theme.text_inverse);
+        canvas.bevel(bounds, theme.chrome, false);
+        let inner = bounds.inset(2);
+        canvas.clipped(inner, |canvas| {
+            let y = inner.y + (inner.h as i32 - font::GLYPH_HEIGHT as i32) / 2;
+            canvas.text(Point::new(inner.x + 2, y), &self.text, theme.text);
+            if focused {
+                let cx = inner.x + 2 + (self.cursor_chars() as u32 * font::ADVANCE) as i32;
+                canvas.vline(cx, y - 1, y + font::GLYPH_HEIGHT as i32 + 1, theme.accent);
+            }
+        });
+        if focused {
+            canvas.stroke_rect(bounds, theme.focus);
+        }
+    }
+
+    fn preferred_size(&self, theme: &Theme) -> Size {
+        Size::new(100, font::GLYPH_HEIGHT + 2 * theme.padding + 2)
+    }
+
+    fn focusable(&self) -> bool {
+        true
+    }
+
+    fn on_pointer(&mut self, ev: PointerEvent, _bounds: Rect) -> EventResult {
+        if ev.phase != PointerPhase::Down {
+            return EventResult::ignored();
+        }
+        // Move the cursor to the clicked character cell.
+        let cell = ((ev.pos.x - 4).max(0) as u32 / font::ADVANCE) as usize;
+        let mut byte = self.text.len();
+        for (n, (i, _)) in self.text.char_indices().enumerate() {
+            if n == cell {
+                byte = i;
+                break;
+            }
+        }
+        self.cursor = byte;
+        EventResult::repaint()
+    }
+
+    fn on_key(&mut self, ev: KeyEvent) -> EventResult {
+        if !ev.down {
+            return EventResult::ignored();
+        }
+        match ev.sym {
+            s if s == KeySym::RETURN => EventResult::action(Action::Submitted(self.text.clone())),
+            s if s == KeySym::BACKSPACE => {
+                if self.cursor == 0 {
+                    return EventResult::ignored();
+                }
+                let p = self.prev_boundary();
+                self.text.replace_range(p..self.cursor, "");
+                self.cursor = p;
+                EventResult::action(Action::TextChanged(self.text.clone()))
+            }
+            s if s == KeySym::DELETE => {
+                if self.cursor >= self.text.len() {
+                    return EventResult::ignored();
+                }
+                let n = self.next_boundary();
+                self.text.replace_range(self.cursor..n, "");
+                EventResult::action(Action::TextChanged(self.text.clone()))
+            }
+            s if s == KeySym::LEFT => {
+                if self.cursor == 0 {
+                    return EventResult::ignored();
+                }
+                self.cursor = self.prev_boundary();
+                EventResult::repaint()
+            }
+            s if s == KeySym::RIGHT => {
+                if self.cursor >= self.text.len() {
+                    return EventResult::ignored();
+                }
+                self.cursor = self.next_boundary();
+                EventResult::repaint()
+            }
+            s if s == KeySym::HOME => {
+                self.cursor = 0;
+                EventResult::repaint()
+            }
+            s if s == KeySym::END => {
+                self.cursor = self.text.len();
+                EventResult::repaint()
+            }
+            sym => match sym.to_char() {
+                Some(c) if !c.is_control() => {
+                    if self.text.chars().count() >= self.max_len {
+                        return EventResult::ignored();
+                    }
+                    self.text.insert(self.cursor, c);
+                    self.cursor += c.len_utf8();
+                    EventResult::action(Action::TextChanged(self.text.clone()))
+                }
+                _ => EventResult::ignored(),
+            },
+        }
+    }
+
+    fn on_focus(&mut self, _gained: bool) -> bool {
+        true
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sym: KeySym) -> KeyEvent {
+        KeyEvent { down: true, sym }
+    }
+
+    fn type_str(f: &mut TextField, s: &str) {
+        for c in s.chars() {
+            f.on_key(key(c.into()));
+        }
+    }
+
+    #[test]
+    fn typing_appends() {
+        let mut f = TextField::new("");
+        type_str(&mut f, "ch 5");
+        assert_eq!(f.text(), "ch 5");
+    }
+
+    #[test]
+    fn typing_emits_text_changed() {
+        let mut f = TextField::new("");
+        let r = f.on_key(key('a'.into()));
+        assert_eq!(r.action, Some(Action::TextChanged("a".into())));
+    }
+
+    #[test]
+    fn backspace_deletes_before_cursor() {
+        let mut f = TextField::new("abc");
+        f.on_key(key(KeySym::BACKSPACE));
+        assert_eq!(f.text(), "ab");
+        f.on_key(key(KeySym::HOME));
+        let r = f.on_key(key(KeySym::BACKSPACE));
+        assert_eq!(r, EventResult::ignored());
+        assert_eq!(f.text(), "ab");
+    }
+
+    #[test]
+    fn delete_removes_at_cursor() {
+        let mut f = TextField::new("abc");
+        f.on_key(key(KeySym::HOME));
+        f.on_key(key(KeySym::DELETE));
+        assert_eq!(f.text(), "bc");
+        f.on_key(key(KeySym::END));
+        assert_eq!(f.on_key(key(KeySym::DELETE)), EventResult::ignored());
+    }
+
+    #[test]
+    fn cursor_movement_and_mid_insert() {
+        let mut f = TextField::new("ac");
+        f.on_key(key(KeySym::LEFT));
+        f.on_key(key('b'.into()));
+        assert_eq!(f.text(), "abc");
+        assert_eq!(f.cursor_chars(), 2);
+    }
+
+    #[test]
+    fn multibyte_chars_safe() {
+        let mut f = TextField::new("");
+        type_str(&mut f, "日本語");
+        assert_eq!(f.text(), "日本語");
+        f.on_key(key(KeySym::LEFT));
+        f.on_key(key(KeySym::BACKSPACE));
+        assert_eq!(f.text(), "日語");
+        f.on_key(key('本'.into()));
+        assert_eq!(f.text(), "日本語");
+    }
+
+    #[test]
+    fn return_submits() {
+        let mut f = TextField::new("go");
+        let r = f.on_key(key(KeySym::RETURN));
+        assert_eq!(r.action, Some(Action::Submitted("go".into())));
+        assert_eq!(f.text(), "go", "submit does not clear");
+    }
+
+    #[test]
+    fn max_len_enforced() {
+        let mut f = TextField::new("").with_max_len(3);
+        type_str(&mut f, "12345");
+        assert_eq!(f.text(), "123");
+    }
+
+    #[test]
+    fn control_chars_ignored() {
+        let mut f = TextField::new("");
+        let r = f.on_key(key(KeySym(0x07))); // BEL
+        assert_eq!(r, EventResult::ignored());
+        assert_eq!(f.text(), "");
+    }
+
+    #[test]
+    fn pointer_click_moves_cursor() {
+        let mut f = TextField::new("hello");
+        let ev = PointerEvent {
+            phase: PointerPhase::Down,
+            pos: Point::new(4 + 2 * font::ADVANCE as i32, 5),
+            inside: true,
+        };
+        f.on_pointer(ev, Rect::new(0, 0, 100, 16));
+        assert_eq!(f.cursor_chars(), 2);
+    }
+
+    #[test]
+    fn set_text_moves_cursor_to_end() {
+        let mut f = TextField::new("a");
+        f.set_text("wxyz");
+        assert_eq!(f.cursor_chars(), 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the window system: arbitrary event storms on
+//! arbitrary widget soups must never panic, and focus/action invariants
+//! must hold.
+
+use proptest::prelude::*;
+use uniint_protocol::input::{ButtonMask, InputEvent, KeySym};
+use uniint_raster::geom::Rect;
+use uniint_wsys::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Spec {
+    Label,
+    Button,
+    Toggle,
+    Slider,
+    Checkbox,
+    Spinner,
+    List,
+    Text,
+    Progress,
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        Just(Spec::Label),
+        Just(Spec::Button),
+        Just(Spec::Toggle),
+        Just(Spec::Slider),
+        Just(Spec::Checkbox),
+        Just(Spec::Spinner),
+        Just(Spec::List),
+        Just(Spec::Text),
+        Just(Spec::Progress),
+    ]
+}
+
+fn build_ui(specs: &[Spec]) -> Ui {
+    let mut ui = Ui::new(240, 40 + specs.len() as u32 * 24, Theme::classic(), "prop");
+    for (i, s) in specs.iter().enumerate() {
+        let rect = Rect::new(4, 4 + (i as i32) * 24, 200, 20);
+        match s {
+            Spec::Label => ui.add(Label::new(format!("label {i}")), rect),
+            Spec::Button => ui.add(Button::new(format!("btn {i}")), rect),
+            Spec::Toggle => ui.add(Toggle::new("tog", i % 2 == 0), rect),
+            Spec::Slider => ui.add(Slider::new(0, 100, 50, 5), rect),
+            Spec::Checkbox => ui.add(Checkbox::new("chk", false), rect),
+            Spec::Spinner => ui.add(Spinner::new(-10, 10, 0, 1), rect),
+            Spec::List => ui.add(
+                ListBox::new((0..4).map(|k| format!("row {k}")).collect()),
+                Rect::new(4, 4 + (i as i32) * 24, 200, 22),
+            ),
+            Spec::Text => ui.add(TextField::new("ab"), rect),
+            Spec::Progress => ui.add(ProgressBar::new(0, 10, 3), rect),
+        };
+    }
+    ui
+}
+
+fn arb_event() -> impl Strategy<Value = InputEvent> {
+    prop_oneof![
+        (0u16..260, 0u16..400, 0u8..8).prop_map(|(x, y, b)| InputEvent::Pointer {
+            x,
+            y,
+            buttons: ButtonMask(b)
+        }),
+        (any::<bool>(), 0u32..0x180).prop_map(|(down, s)| InputEvent::Key {
+            down,
+            sym: KeySym(s)
+        }),
+        (any::<bool>(),).prop_map(|(down,)| InputEvent::Key {
+            down,
+            sym: KeySym::TAB
+        }),
+        (any::<bool>(),).prop_map(|(down,)| InputEvent::Key {
+            down,
+            sym: KeySym::RETURN
+        }),
+        (any::<bool>(),).prop_map(|(down,)| InputEvent::Key {
+            down,
+            sym: KeySym::DOWN
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn event_storm_never_panics(
+        specs in proptest::collection::vec(arb_spec(), 1..8),
+        events in proptest::collection::vec(arb_event(), 0..80),
+    ) {
+        let mut ui = build_ui(&specs);
+        ui.render();
+        for ev in events {
+            ui.dispatch(ev);
+            ui.render();
+        }
+        // Post-conditions: focus (if any) points at an existing,
+        // focusable widget.
+        if let Some(f) = ui.focused() {
+            prop_assert!(ui.widget_ids().contains(&f));
+        }
+        let _ = ui.take_actions();
+    }
+
+    #[test]
+    fn render_is_idempotent_without_events(specs in proptest::collection::vec(arb_spec(), 1..8)) {
+        let mut ui = build_ui(&specs);
+        ui.render();
+        ui.framebuffer_mut().take_damage();
+        let before = ui.framebuffer().clone();
+        prop_assert!(!ui.render(), "second render must be a no-op");
+        prop_assert_eq!(&before, ui.framebuffer());
+    }
+
+    #[test]
+    fn tab_always_lands_on_focusable(specs in proptest::collection::vec(arb_spec(), 1..8), taps in 1usize..12) {
+        let mut ui = build_ui(&specs);
+        for _ in 0..taps {
+            for ev in InputEvent::key_tap(KeySym::TAB) {
+                ui.dispatch(ev);
+            }
+        }
+        // After any number of tabs, either nothing is focusable or the
+        // focused widget exists.
+        if let Some(f) = ui.focused() {
+            prop_assert!(ui.widget_ids().contains(&f));
+        }
+    }
+
+    #[test]
+    fn actions_only_from_existing_widgets(
+        specs in proptest::collection::vec(arb_spec(), 1..8),
+        events in proptest::collection::vec(arb_event(), 0..60),
+    ) {
+        let mut ui = build_ui(&specs);
+        let ids = ui.widget_ids();
+        for ev in events {
+            ui.dispatch(ev);
+        }
+        for a in ui.take_actions() {
+            prop_assert!(ids.contains(&a.widget));
+        }
+    }
+
+    #[test]
+    fn remove_mid_storm_is_safe(
+        specs in proptest::collection::vec(arb_spec(), 2..8),
+        events in proptest::collection::vec(arb_event(), 1..40),
+        kill in 0usize..8,
+    ) {
+        let mut ui = build_ui(&specs);
+        let ids = ui.widget_ids();
+        let victim = ids[kill % ids.len()];
+        let kill_at = 3.min(events.len() - 1);
+        for (i, ev) in events.into_iter().enumerate() {
+            if i == kill_at {
+                ui.remove(victim);
+            }
+            ui.dispatch(ev);
+            ui.render();
+        }
+        prop_assert!(!ui.widget_ids().contains(&victim));
+    }
+}

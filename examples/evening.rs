@@ -1,0 +1,74 @@
+//! An evening at home: one-touch scenes fired from the remote, and a
+//! timer recording programmed on the VCR — two headless "havlets"
+//! coordinating appliances on the same middleware the interactive panels
+//! use.
+//!
+//! Run with `cargo run --example evening`.
+
+use uniint::prelude::*;
+
+fn main() {
+    // The house.
+    let mut net = HomeNetwork::new();
+    net.attach(
+        DeviceSpec::new("TV", "living-room")
+            .with_fcm(TunerFcm::new("TV Tuner", 12))
+            .with_fcm(DisplayFcm::new("TV Display", 2)),
+    );
+    net.attach(DeviceSpec::new("VCR", "living-room").with_fcm(VcrFcm::new("VCR Deck", 7200)));
+    net.attach(DeviceSpec::new("Amp", "living-room").with_fcm(AmplifierFcm::new("Hi-Fi")));
+    net.attach(DeviceSpec::new("Lamp", "living-room").with_fcm(LightFcm::new("Floor Lamp")));
+    net.attach(
+        DeviceSpec::new("Clock", "hall").with_fcm(ClockFcm::new("Hall Clock", 19 * 3600 + 1790)),
+    );
+
+    // 19:29:50 — program the 19:30 news recording on channel 4.
+    let mut scheduler = RecordingScheduler::new(&net).expect("clock+tuner+vcr present");
+    scheduler
+        .program(Recording {
+            start_s: 19 * 3600 + 1800,
+            end_s: 19 * 3600 + 1860,
+            channel: 4,
+        })
+        .expect("valid window");
+    println!("Programmed: record channel 4, 19:30:00–19:31:00");
+
+    // The scene panel runs on a UniInt session; the user fires "Movie
+    // night" from the IR remote (mnemonic 'v').
+    let mut scenes = ScenePanelApp::new(&mut net, standard_scenes(), Theme::classic());
+    let mut session = LocalSession::connect(scenes.ui_mut());
+    session.proxy.attach_input(Box::new(RemotePlugin::new()));
+    scenes.ui_mut().set_focus(None);
+    // 'v' is not on the remote; the user navigates: Menu cycles focus,
+    // Ok activates. The Movie night button is the first focusable.
+    session.device_input(scenes.ui_mut(), &SimRemote::press(RemoteKey::Menu));
+    session.device_input(scenes.ui_mut(), &SimRemote::press(RemoteKey::Ok));
+    let report = scenes.process(&mut net);
+    println!(
+        "Movie night fired: {} commands ({} failed)",
+        report.sent, report.failed
+    );
+
+    // Time passes; the scheduler does its job while the movie plays.
+    for _ in 0..9 {
+        net.tick(10_000);
+        let sent = scheduler.process(&mut net);
+        if sent > 0 {
+            let clock = net.find_fcms(&Query::new().class(FcmClass::Clock))[0];
+            let t = net.status(clock).unwrap();
+            println!("scheduler acted at {t:?}: {sent} commands");
+        }
+    }
+
+    println!("\nFinal appliance states:");
+    for seid in net.find_fcms(&Query::new()) {
+        let reg = net.registry().lookup(seid).unwrap();
+        let name = reg.name.clone();
+        let class = reg.class.unwrap();
+        println!(
+            "  {name:<12} {}",
+            summarize(class, &net.status(seid).unwrap())
+        );
+    }
+    println!("\nRecording states: {:?}", scheduler.states());
+}

@@ -1,0 +1,69 @@
+//! # uniint — Universal Interaction with Networked Home Appliances
+//!
+//! A production-quality Rust reproduction of **Nakajima & Hasegawa,
+//! "Universal Interaction with Networked Home Appliances" (ICDCS 2002)**:
+//! a thin-client-style *universal interaction protocol* (bitmaps out,
+//! keyboard/mouse in), a UniInt server exporting unmodified toolkit GUIs,
+//! and a UniInt proxy that adapts them to heterogeneous interaction
+//! devices — PDA, cellular phone, voice, gestures, remote controller —
+//! switching devices dynamically with the user's situation.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`raster`] | `uniint-raster` | framebuffer, regions, scaling, dithering |
+//! | [`protocol`] | `uniint-protocol` | the universal interaction wire protocol |
+//! | [`wsys`] | `uniint-wsys` | the widget toolkit appliance GUIs use |
+//! | [`havi`] | `uniint-havi` | HAVi-like home middleware (DCM/FCM, registry) |
+//! | [`netsim`] | `uniint-netsim` | deterministic link simulator + live pipes |
+//! | [`core`] | `uniint-core` | UniInt server, proxy, plug-ins, selection policy |
+//! | [`devices`] | `uniint-devices` | simulated PDAs, phones, voice, remotes |
+//! | [`apps`] | `uniint-apps` | appliance control-panel applications |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uniint::prelude::*;
+//!
+//! // A home with a TV on the HAVi-like bus.
+//! let mut net = HomeNetwork::new();
+//! net.attach(
+//!     DeviceSpec::new("TV", "living-room")
+//!         .with_fcm(TunerFcm::new("TV Tuner", 12))
+//!         .with_fcm(DisplayFcm::new("TV Display", 2)),
+//! );
+//! // The appliance application composes a control panel...
+//! let mut app = ControlPanelApp::new(&mut net, None, Theme::classic());
+//! // ...exported through a UniInt session and operated from a phone keypad.
+//! let mut session = LocalSession::connect(app.ui_mut());
+//! session.proxy.attach_input(Box::new(KeypadPlugin::new()));
+//! session.device_input(app.ui_mut(), &SimPhone::press('5').unwrap());
+//! app.process(&mut net);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use uniint_apps as apps;
+pub use uniint_core as core;
+pub use uniint_devices as devices;
+pub use uniint_havi as havi;
+pub use uniint_netsim as netsim;
+pub use uniint_protocol as protocol;
+pub use uniint_raster as raster;
+pub use uniint_wsys as wsys;
+
+/// One prelude across the whole system.
+pub mod prelude {
+    pub use uniint_apps::prelude::*;
+    pub use uniint_core::prelude::*;
+    pub use uniint_devices::prelude::*;
+    pub use uniint_havi::prelude::*;
+    pub use uniint_netsim::prelude::*;
+    pub use uniint_protocol::prelude::*;
+    pub use uniint_raster::prelude::*;
+    pub use uniint_wsys::prelude::{
+        columns, grid, rows, Action, ActionEvent, Align, Button, Cell, Checkbox, ImageView, Label,
+        ListBox, ProgressBar, Separator, Slider, Spinner, TabBar, TextField, Theme, Toggle, Ui,
+        WidgetId,
+    };
+}
