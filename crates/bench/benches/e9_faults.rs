@@ -1,0 +1,83 @@
+//! E9 — Interaction cost under scheduled link faults.
+//!
+//! Sweeps the {link} × {fault} grid: a keypad interaction sequence runs
+//! while the link flaps, burst-drops, or suffers latency spikes, and the
+//! session's resume/backoff machinery heals every break. Criterion
+//! measures the wall-clock simulation cost; recovery-quality numbers
+//! (stalls, resumes, retransmits, virtual time lost) are reported by the
+//! `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uniint_apps::prelude::*;
+use uniint_bench::home_with;
+use uniint_core::prelude::*;
+use uniint_devices::prelude::*;
+use uniint_netsim::prelude::{FaultSchedule, LinkProfile};
+use uniint_wsys::prelude::Theme;
+
+/// A fault schedule parameterised on the session start time.
+type ScheduleFn = fn(u64) -> FaultSchedule;
+
+/// Named fault schedules.
+fn fault_grid() -> Vec<(&'static str, ScheduleFn)> {
+    vec![
+        ("clean", |_t0| FaultSchedule::new()),
+        ("burst", |_t0| {
+            FaultSchedule::new().burst_loss(0.05, 0.7, 0.8)
+        }),
+        ("flap2s", |t0| {
+            FaultSchedule::new().flap(t0 + 50_000, t0 + 2_050_000)
+        }),
+        ("spike", |t0| {
+            FaultSchedule::new().latency_spike(t0, t0 + 2_000_000, 200_000)
+        }),
+    ]
+}
+
+/// A faulted interaction session; returns (virtual µs, proxy stats).
+pub fn faulted_session(
+    link: LinkProfile,
+    schedule: fn(u64) -> FaultSchedule,
+    seed: u64,
+) -> (u64, ProxyStats) {
+    let mut net = home_with(3);
+    let mut app = ControlPanelApp::new(&mut net, None, Theme::classic());
+    let mut s = SimSession::connect(app.ui_mut(), link, seed).expect("connect");
+    s.proxy.attach_input(Box::new(KeypadPlugin::new()));
+    let t0 = s.now_us();
+    s.sim.set_link_faults(s.proxy_endpoint(), schedule(t0));
+    for _ in 0..8 {
+        s.device_input(app.ui_mut(), &SimPhone::press('5').unwrap())
+            .unwrap();
+        app.process(&mut net);
+        s.settle(app.ui_mut()).unwrap();
+    }
+    (s.now_us() - t0, s.proxy.stats())
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_faults");
+    group.sample_size(10);
+    let links = [
+        LinkProfile::wifi80211b(),
+        LinkProfile::bluetooth(),
+        LinkProfile::cellular_gprs(),
+    ];
+    for link in links {
+        for (fault, schedule) in fault_grid() {
+            let id = BenchmarkId::new(fault, link.name);
+            group.bench_with_input(id, &(link, schedule), |b, &(link, schedule)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(faulted_session(link, schedule, seed));
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

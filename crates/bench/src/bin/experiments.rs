@@ -1,4 +1,4 @@
-//! Prints the paper-facing experiment tables (E1–E8) to stdout.
+//! Prints the paper-facing experiment tables (E1–E9) to stdout.
 //!
 //! Run with `cargo run -p uniint-bench --bin experiments --release`.
 //! Wall-clock micro-costs are measured inline (median of repeated runs);
@@ -351,6 +351,68 @@ fn e8() {
     }
 }
 
+fn e9() {
+    use uniint_netsim::prelude::FaultSchedule;
+
+    println!("\n== E9: session recovery under scheduled link faults ==");
+    println!(
+        "{:<14} {:<12} {:>12} {:>8} {:>9} {:>8} {:>12} {:>12}",
+        "link",
+        "fault",
+        "virtual ms",
+        "stalls",
+        "backoffs",
+        "resumes",
+        "full resyncs",
+        "retransmits"
+    );
+    type Fault = (&'static str, fn(u64) -> FaultSchedule);
+    let faults: [Fault; 4] = [
+        ("clean", |_t0| FaultSchedule::new()),
+        ("burst", |_t0| {
+            FaultSchedule::new().burst_loss(0.05, 0.7, 0.8)
+        }),
+        ("flap2s", |t0| {
+            FaultSchedule::new().flap(t0 + 50_000, t0 + 2_050_000)
+        }),
+        ("spike", |t0| {
+            FaultSchedule::new().latency_spike(t0, t0 + 2_000_000, 200_000)
+        }),
+    ];
+    for link in [
+        LinkProfile::wifi80211b(),
+        LinkProfile::bluetooth(),
+        LinkProfile::cellular_gprs(),
+    ] {
+        for (fault, schedule) in faults {
+            let mut net = home_with(3);
+            let mut app = ControlPanelApp::new(&mut net, None, Theme::classic());
+            let mut s = SimSession::connect(app.ui_mut(), link, 7).expect("connect");
+            s.proxy.attach_input(Box::new(KeypadPlugin::new()));
+            let t0 = s.now_us();
+            s.sim.set_link_faults(s.proxy_endpoint(), schedule(t0));
+            for _ in 0..8 {
+                s.device_input(app.ui_mut(), &SimPhone::press('5').unwrap())
+                    .unwrap();
+                app.process(&mut net);
+                s.settle(app.ui_mut()).unwrap();
+            }
+            let st = s.proxy.stats();
+            println!(
+                "{:<14} {:<12} {:>12.1} {:>8} {:>9} {:>8} {:>12} {:>12}",
+                link.name,
+                fault,
+                (s.now_us() - t0) as f64 / 1000.0,
+                st.stalls,
+                st.backoff_attempts,
+                st.resumes,
+                st.full_resyncs,
+                st.retransmits
+            );
+        }
+    }
+}
+
 fn main() {
     println!("Universal Interaction with Networked Home Appliances (ICDCS 2002)");
     println!("Experiment report — see EXPERIMENTS.md for interpretation.");
@@ -362,4 +424,5 @@ fn main() {
     e6();
     e7();
     e8();
+    e9();
 }

@@ -48,5 +48,5 @@ pub mod prelude {
     pub use crate::proxy::{ProxyOutput, ProxyStats, UniIntProxy};
     pub use crate::sensors::{SensorReading, SituationTracker};
     pub use crate::server::{ServerStats, UniIntServer};
-    pub use crate::session::{LocalSession, SimSession};
+    pub use crate::session::{LocalSession, SessionError, SimSession};
 }

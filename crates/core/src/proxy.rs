@@ -43,6 +43,17 @@ pub struct ProxyStats {
     pub events_translated: u64,
     /// Device events that produced no universal event.
     pub events_dropped: u64,
+    /// Client messages retransmitted after a connection break.
+    pub retransmits: u64,
+    /// Stalls detected (connection found dead mid-session).
+    pub stalls: u64,
+    /// Reconnect attempts made under exponential backoff.
+    pub backoff_attempts: u64,
+    /// Successful incremental resumes (server replayed from its log).
+    pub resumes: u64,
+    /// Full resynchronizations: the server could not replay, or recovery
+    /// discarded the cached framebuffer and requested everything again.
+    pub full_resyncs: u64,
 }
 
 /// The universal interaction proxy.
@@ -62,6 +73,8 @@ pub struct UniIntProxy {
     output_plugin: Option<Box<dyn OutputPlugin>>,
     connected: bool,
     stats: ProxyStats,
+    /// Sequence of the last applied update; echoed in `Resume`.
+    last_update_seq: u64,
 }
 
 impl UniIntProxy {
@@ -75,6 +88,7 @@ impl UniIntProxy {
             output_plugin: None,
             connected: false,
             stats: ProxyStats::default(),
+            last_update_seq: 0,
         }
     }
 
@@ -113,10 +127,39 @@ impl UniIntProxy {
 
     /// Opens the session: the initial Hello.
     pub fn connect(&mut self) -> Vec<ClientMessage> {
+        self.last_update_seq = 0;
         vec![ClientMessage::Hello {
             version: PROTOCOL_VERSION,
             name: self.name.clone(),
         }]
+    }
+
+    /// Sequence of the last server update this proxy applied.
+    pub fn last_update_seq(&self) -> u64 {
+        self.last_update_seq
+    }
+
+    /// Builds the reattach message after a connection break: asks the
+    /// server to re-damage everything past the last applied update.
+    pub fn make_resume(&self) -> ClientMessage {
+        ClientMessage::Resume {
+            last_update_seq: self.last_update_seq,
+        }
+    }
+
+    /// Records a detected stall (connection found dead mid-session).
+    pub fn record_stall(&mut self) {
+        self.stats.stalls += 1;
+    }
+
+    /// Records one reconnect attempt made under backoff.
+    pub fn record_backoff_attempt(&mut self) {
+        self.stats.backoff_attempts += 1;
+    }
+
+    /// Records `n` client messages retransmitted after reattach.
+    pub fn record_retransmits(&mut self, n: u64) {
+        self.stats.retransmits += n;
     }
 
     /// Installs (or replaces) the input plug-in. Takes effect immediately
@@ -183,10 +226,11 @@ impl UniIntProxy {
                     rect: Rect::new(0, 0, *width as u32, *height as u32),
                 });
             }
-            ServerMessage::Update { format, rects } => {
+            ServerMessage::Update { seq, format, rects } => {
                 let Some(fb) = &mut self.fb else {
                     return Err(ProtocolError::Malformed("update before init".into()));
                 };
+                self.last_update_seq = *seq;
                 for ru in rects {
                     let mut cursor: &[u8] = &ru.payload;
                     match decode_rect(&mut cursor, ru.rect, ru.encoding, *format)? {
@@ -207,18 +251,32 @@ impl UniIntProxy {
                 });
             }
             ServerMessage::Resize { width, height } => {
-                self.fb = Some(Framebuffer::new(
-                    (*width).max(1) as u32,
-                    (*height).max(1) as u32,
-                    Color::BLACK,
-                ));
-                out.messages.push(ClientMessage::UpdateRequest {
-                    incremental: false,
-                    rect: fb_bounds(&self.fb),
-                });
+                let new = Size::new((*width).max(1) as u32, (*height).max(1) as u32);
+                // A same-size Resize (e.g. sent defensively during resume)
+                // must not blow away the cached framebuffer.
+                if self.fb.as_ref().map(|f| f.size()) != Some(new) {
+                    self.fb = Some(Framebuffer::new(new.w, new.h, Color::BLACK));
+                    out.messages.push(ClientMessage::UpdateRequest {
+                        incremental: false,
+                        rect: fb_bounds(&self.fb),
+                    });
+                }
             }
             ServerMessage::Bell => out.bell = true,
             ServerMessage::CutText(_) => {}
+            ServerMessage::ResumeAck { replayed, .. } => {
+                if *replayed {
+                    self.stats.resumes += 1;
+                } else {
+                    self.stats.full_resyncs += 1;
+                }
+                // The server re-damaged whatever the break lost; an
+                // incremental request fetches exactly that.
+                out.messages.push(ClientMessage::UpdateRequest {
+                    incremental: true,
+                    rect: fb_bounds(&self.fb),
+                });
+            }
         }
         Ok(out)
     }
@@ -241,6 +299,7 @@ impl UniIntProxy {
         if !self.connected {
             return Vec::new();
         }
+        self.stats.full_resyncs += 1;
         if let Some(fb) = &mut self.fb {
             // Blank the cache so stale pixels cannot survive a corrupt
             // update that was partially applied.
@@ -376,6 +435,7 @@ mod tests {
         let px = vec![color; rect.area() as usize];
         let payload = encode_rect(&px, rect, Encoding::Raw, format);
         ServerMessage::Update {
+            seq: 1,
             format,
             rects: vec![RectUpdate {
                 rect,
@@ -542,6 +602,7 @@ mod tests {
         p.handle_server(&msg).unwrap();
         // CopyRect the left half onto the right half.
         let cr = ServerMessage::Update {
+            seq: 2,
             format: PixelFormat::Rgb888,
             rects: vec![RectUpdate {
                 rect: Rect::new(80, 0, 80, 120),
@@ -608,6 +669,7 @@ mod recovery_tests {
         .unwrap();
         // A corrupt update: truncated raw payload.
         let bad = ServerMessage::Update {
+            seq: 1,
             format: PixelFormat::Rgb888,
             rects: vec![RectUpdate {
                 rect: Rect::new(0, 0, 64, 48),

@@ -6,12 +6,17 @@
 //! devices. It speaks only the universal protocol: damage-driven
 //! framebuffer updates out, keyboard/pointer events in.
 
+use std::collections::VecDeque;
 use uniint_protocol::encoding::{choose_encoding, encode_rect, Encoding};
 use uniint_protocol::message::{ClientMessage, RectUpdate, ServerMessage, PROTOCOL_VERSION};
 use uniint_raster::geom::Rect;
 use uniint_raster::pixel::PixelFormat;
 use uniint_raster::region::Region;
 use uniint_wsys::ui::Ui;
+
+/// How many sent updates the server retains for incremental resume. A
+/// `Resume` pointing further back than this falls back to full damage.
+pub const RESUME_RETENTION: usize = 64;
 
 /// Per-client protocol state.
 #[derive(Debug)]
@@ -22,6 +27,14 @@ struct ClientState {
     pending: Option<(bool, Rect)>,
     /// Damage accumulated since the client's last update.
     damage: Region,
+    /// Client messages received this session (`Resume` not counted), so
+    /// a reattaching client learns how much of its send stream was lost.
+    msgs_received: u64,
+    /// Sequence number the next update will carry (from 1).
+    next_update_seq: u64,
+    /// Regions of the last [`RESUME_RETENTION`] updates, by sequence —
+    /// the replay log incremental resume re-damages from.
+    sent_log: VecDeque<(u64, Region)>,
 }
 
 /// Statistics the benchmarks read from a server.
@@ -70,6 +83,13 @@ impl UniIntServer {
 
     /// Handles one client message, possibly producing replies.
     pub fn handle_message(&mut self, ui: &mut Ui, msg: ClientMessage) -> Vec<ServerMessage> {
+        // Count every client message except Resume, which sits outside
+        // the session's message stream (it describes the stream itself).
+        if !matches!(msg, ClientMessage::Resume { .. }) {
+            if let Some(c) = &mut self.client {
+                c.msgs_received += 1;
+            }
+        }
         match msg {
             ClientMessage::Hello { version, name: _ } => {
                 let version = version.min(PROTOCOL_VERSION);
@@ -79,6 +99,9 @@ impl UniIntServer {
                     pending: None,
                     // A new session owes the client the whole screen.
                     damage: Region::from_rect(ui.framebuffer().bounds()),
+                    msgs_received: 1,
+                    next_update_seq: 1,
+                    sent_log: VecDeque::new(),
                 });
                 vec![ServerMessage::Init {
                     version,
@@ -125,6 +148,56 @@ impl UniIntServer {
                 Vec::new()
             }
             ClientMessage::CutText(_) => Vec::new(),
+            ClientMessage::Resume { last_update_seq } => {
+                let Some(c) = &mut self.client else {
+                    // No session to resume (e.g. the server restarted);
+                    // the client must fall back to a fresh Hello.
+                    return vec![ServerMessage::ResumeAck {
+                        client_msgs_received: 0,
+                        replayed: false,
+                    }];
+                };
+                let newest = c.next_update_seq - 1;
+                let mut replayed = true;
+                if last_update_seq < newest {
+                    // The log must cover every update past the client's
+                    // last applied one; otherwise retention was exceeded
+                    // and the whole screen is owed again.
+                    let covered = c
+                        .sent_log
+                        .front()
+                        .is_some_and(|(s, _)| *s <= last_update_seq + 1);
+                    if covered {
+                        let ClientState {
+                            sent_log, damage, ..
+                        } = c;
+                        for (s, region) in sent_log.iter() {
+                            if *s > last_update_seq {
+                                damage.union_with(region);
+                            }
+                        }
+                    } else {
+                        replayed = false;
+                        c.damage = Region::from_rect(ui.framebuffer().bounds());
+                    }
+                }
+                // Answer the re-damaged area on the next pump even if the
+                // client's own UpdateRequest was among the lost messages.
+                c.pending = Some((true, ui.framebuffer().bounds()));
+                let msgs_received = c.msgs_received;
+                vec![
+                    // Geometry may have changed while the client was gone;
+                    // a same-size Resize is a no-op client-side.
+                    ServerMessage::Resize {
+                        width: self.size.0,
+                        height: self.size.1,
+                    },
+                    ServerMessage::ResumeAck {
+                        client_msgs_received: msgs_received,
+                        replayed,
+                    },
+                ]
+            }
         }
     }
 
@@ -190,7 +263,14 @@ impl UniIntServer {
         }
         if !rects.is_empty() {
             self.stats.updates_sent += 1;
+            let seq = c.next_update_seq;
+            c.next_update_seq += 1;
+            c.sent_log.push_back((seq, to_send));
+            if c.sent_log.len() > RESUME_RETENTION {
+                c.sent_log.pop_front();
+            }
             out.push(ServerMessage::Update {
+                seq,
                 format: c.format,
                 rects,
             });
@@ -203,6 +283,9 @@ impl UniIntServer {
         self.size = (ui.size().w as u16, ui.size().h as u16);
         if let Some(c) = &mut self.client {
             c.damage = Region::from_rect(ui.framebuffer().bounds());
+            // Pre-resize updates describe a dead geometry: never replay
+            // them. A resume across a resize degrades to full damage.
+            c.sent_log.clear();
             vec![ServerMessage::Resize {
                 width: self.size.0,
                 height: self.size.1,
@@ -352,7 +435,7 @@ mod tests {
                 rect: Rect::new(0, 0, 160, 120),
             },
         );
-        let ServerMessage::Update { format, rects } = &replies[0] else {
+        let ServerMessage::Update { format, rects, .. } = &replies[0] else {
             panic!("format change must resend");
         };
         assert_eq!(*format, PixelFormat::Mono1);

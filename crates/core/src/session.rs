@@ -5,6 +5,8 @@
 use crate::plugin::{DeviceEvent, DeviceFrame};
 use crate::proxy::UniIntProxy;
 use crate::server::UniIntServer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use uniint_netsim::link::LinkProfile;
 use uniint_netsim::sim::{Endpoint, Simulator};
 use uniint_protocol::error::ProtocolError;
@@ -12,6 +14,48 @@ use uniint_protocol::message::{
     encode_client, encode_server, ClientMessage, FrameReader, ServerMessage,
 };
 use uniint_wsys::ui::Ui;
+
+/// Why a [`SimSession`] operation failed.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The byte stream decoded to something invalid.
+    Protocol(ProtocolError),
+    /// The connection stalled and every reconnect attempt failed — the
+    /// link never came back within the backoff budget.
+    Stalled {
+        /// Reconnect attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl From<ProtocolError> for SessionError {
+    fn from(e: ProtocolError) -> SessionError {
+        SessionError::Protocol(e)
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Protocol(e) => write!(f, "protocol error: {e}"),
+            SessionError::Stalled { attempts } => {
+                write!(
+                    f,
+                    "connection stalled; gave up after {attempts} reconnect attempts"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Protocol(e) => Some(e),
+            SessionError::Stalled { .. } => None,
+        }
+    }
+}
 
 /// A complete session with a zero-latency in-process "wire".
 ///
@@ -117,9 +161,32 @@ impl LocalSession {
     }
 }
 
+/// First backoff delay before a reconnect attempt, microseconds.
+const BACKOFF_BASE_US: u64 = 20_000;
+/// Backoff delay ceiling, microseconds.
+const BACKOFF_CAP_US: u64 = 1_000_000;
+/// Reconnect attempts per stall before declaring the session dead.
+const MAX_BACKOFF_ATTEMPTS: u32 = 16;
+/// Consecutive resume attempts that may die on the wire before the
+/// session escalates to a full refresh instead of an incremental one.
+const MAX_FAILED_RESUMES: u32 = 3;
+
 /// A session whose server↔proxy wire crosses the discrete-event network
 /// simulator, with full protocol serialization. Used to measure update
 /// rates over realistic home links (wired/WLAN/Bluetooth/cellular).
+///
+/// The session is **self-healing**: hard link faults (flap windows,
+/// Gilbert–Elliott burst drops) tear the simulated connection down, and
+/// [`SimSession::settle`] detects the stall (network idle while the link
+/// is down), reconnects with exponential backoff plus deterministic
+/// jitter, and resumes the protocol session incrementally — the proxy
+/// asks the server to replay only the updates it missed
+/// ([`ClientMessage::Resume`]) and retransmits its own lost client
+/// messages from a session-side log once the server reports how many it
+/// received ([`ServerMessage::ResumeAck`]). After [`MAX_FAILED_RESUMES`]
+/// resume attempts are themselves lost, the session falls back to a full
+/// framebuffer refresh. All recovery activity is visible in
+/// [`crate::proxy::ProxyStats`].
 #[derive(Debug)]
 pub struct SimSession {
     /// The UniInt server endpoint.
@@ -134,12 +201,28 @@ pub struct SimSession {
     proxy_rx: FrameReader,
     last_frame: Option<DeviceFrame>,
     frames_delivered: u64,
+    /// Every client message sent this session except `Resume`, in send
+    /// order, minus an already-acknowledged prefix of `log_offset`
+    /// messages. The server counts received client messages the same
+    /// way, so `ResumeAck::client_msgs_received` indexes straight into
+    /// this log: everything at or past that count was lost in flight
+    /// and is retransmitted verbatim.
+    client_log: Vec<ClientMessage>,
+    /// Messages dropped from the front of `client_log` (known received).
+    log_offset: u64,
+    /// Dedicated RNG for backoff jitter, seeded from the connect seed so
+    /// recovery timing is exactly reproducible.
+    backoff_rng: StdRng,
+    /// A `Resume` is on the wire and unacknowledged.
+    resume_pending: bool,
+    /// Consecutive resumes that stalled again before their ack arrived.
+    failed_resumes: u32,
 }
 
 impl SimSession {
     /// Creates a session over `link`, completing the handshake (the
     /// virtual clock advances accordingly).
-    pub fn connect(ui: &mut Ui, link: LinkProfile, seed: u64) -> Result<SimSession, ProtocolError> {
+    pub fn connect(ui: &mut Ui, link: LinkProfile, seed: u64) -> Result<SimSession, SessionError> {
         let mut sim = Simulator::new(seed);
         let (proxy_ep, server_ep) = sim.link(link);
         let mut s = SimSession {
@@ -152,9 +235,14 @@ impl SimSession {
             proxy_rx: FrameReader::new(),
             last_frame: None,
             frames_delivered: 0,
+            client_log: Vec::new(),
+            log_offset: 0,
+            backoff_rng: StdRng::seed_from_u64(seed ^ 0x5e55_10e5_b0ff_0e5e),
+            resume_pending: false,
+            failed_resumes: 0,
         };
         for m in s.proxy.connect() {
-            s.sim.send(s.proxy_ep, encode_client(&m));
+            s.send_logged(m);
         }
         s.settle(ui)?;
         Ok(s)
@@ -163,6 +251,16 @@ impl SimSession {
     /// Virtual time, microseconds.
     pub fn now_us(&self) -> u64 {
         self.sim.now_us()
+    }
+
+    /// The proxy's network endpoint (e.g. for scheduling link faults).
+    pub fn proxy_endpoint(&self) -> Endpoint {
+        self.proxy_ep
+    }
+
+    /// The server's network endpoint.
+    pub fn server_endpoint(&self) -> Endpoint {
+        self.server_ep
     }
 
     /// Frames delivered to the output device so far.
@@ -182,9 +280,9 @@ impl SimSession {
 
     /// Injects a device event at the proxy side and advances the network
     /// until idle.
-    pub fn device_input(&mut self, ui: &mut Ui, ev: &DeviceEvent) -> Result<(), ProtocolError> {
+    pub fn device_input(&mut self, ui: &mut Ui, ev: &DeviceEvent) -> Result<(), SessionError> {
         for m in self.proxy.device_input(ev) {
-            self.sim.send(self.proxy_ep, encode_client(&m));
+            self.send_logged(m);
         }
         self.settle(ui)
     }
@@ -196,23 +294,40 @@ impl SimSession {
         &mut self,
         ui: &mut Ui,
         msgs: Vec<ClientMessage>,
-    ) -> Result<(), ProtocolError> {
+    ) -> Result<(), SessionError> {
         for m in msgs {
-            self.sim.send(self.proxy_ep, encode_client(&m));
+            self.send_logged(m);
         }
         self.settle(ui)
     }
 
+    /// Sends a client message and appends it to the retransmission log.
+    ///
+    /// Every regular client message must travel through here so the log
+    /// stays aligned with the server's received-message count; `Resume`
+    /// itself and retransmissions bypass it (the server excludes the
+    /// former from its count, and the latter are already logged).
+    fn send_logged(&mut self, m: ClientMessage) {
+        self.sim.send(self.proxy_ep, encode_client(&m));
+        self.client_log.push(m);
+    }
+
     /// Flushes application-side UI changes into the network and runs it
-    /// until idle.
-    pub fn settle(&mut self, ui: &mut Ui) -> Result<(), ProtocolError> {
+    /// until idle, recovering from any connection breaks on the way.
+    pub fn settle(&mut self, ui: &mut Ui) -> Result<(), SessionError> {
         loop {
             // Drain server-side application damage first.
             for m in self.server.pump(ui) {
                 self.sim.send(self.server_ep, encode_server(&m));
             }
             if self.sim.step().is_none() {
-                break;
+                if self.sim.link_up(self.proxy_ep) {
+                    return Ok(());
+                }
+                // Idle with the link down: the pending exchange is dead
+                // in the water. Recover, then settle the resumed traffic.
+                self.recover_connection()?;
+                continue;
             }
             // Deliver everything that has arrived by now at both ends.
             while let Some(bytes) = self.sim.recv(self.server_ep) {
@@ -229,17 +344,95 @@ impl SimSession {
             }
             while let Some(frame) = self.proxy_rx.next_frame()? {
                 let msg = ServerMessage::decode_body(&mut frame.as_slice())?;
+                if let ServerMessage::ResumeAck {
+                    client_msgs_received,
+                    ..
+                } = &msg
+                {
+                    self.on_resume_ack(*client_msgs_received);
+                }
                 let out = self.proxy.handle_server(&msg)?;
                 if let Some(f) = out.frame {
                     self.last_frame = Some(f);
                     self.frames_delivered += 1;
                 }
                 for m in out.messages {
-                    self.sim.send(self.proxy_ep, encode_client(&m));
+                    self.send_logged(m);
                 }
             }
         }
+    }
+
+    /// Brings a torn-down link back up (exponential backoff + jitter)
+    /// and restarts the protocol conversation on top of it.
+    fn recover_connection(&mut self) -> Result<(), SessionError> {
+        self.proxy.record_stall();
+        let mut delay = BACKOFF_BASE_US;
+        let mut attempts = 0u32;
+        loop {
+            if attempts >= MAX_BACKOFF_ATTEMPTS {
+                return Err(SessionError::Stalled { attempts });
+            }
+            attempts += 1;
+            self.proxy.record_backoff_attempt();
+            let jitter = self.backoff_rng.gen_range(0..=delay / 4);
+            self.sim.advance(delay + jitter);
+            if self.sim.reconnect(self.proxy_ep) {
+                break;
+            }
+            delay = (delay * 2).min(BACKOFF_CAP_US);
+        }
+        if !self.proxy.is_connected() {
+            // The break beat the handshake: nothing to resume, start over.
+            self.client_log.clear();
+            self.log_offset = 0;
+            self.resume_pending = false;
+            self.failed_resumes = 0;
+            for m in self.proxy.connect() {
+                self.send_logged(m);
+            }
+            return Ok(());
+        }
+        if self.resume_pending {
+            self.failed_resumes += 1;
+        }
+        self.resume_pending = true;
+        // Resume is deliberately not logged: the server leaves it out of
+        // its received-message count.
+        let resume = self.proxy.make_resume();
+        self.sim.send(self.proxy_ep, encode_client(&resume));
+        if self.failed_resumes >= MAX_FAILED_RESUMES {
+            // Incremental resume keeps dying on the wire — escalate to a
+            // full refresh (lost inputs are still retransmitted when the
+            // ResumeAck for the resume above lands).
+            self.failed_resumes = 0;
+            for m in self.proxy.recover() {
+                self.send_logged(m);
+            }
+        }
         Ok(())
+    }
+
+    /// Reacts to the server's resume handshake: retransmits, in original
+    /// order, every logged client message the server reports missing.
+    fn on_resume_ack(&mut self, client_msgs_received: u64) {
+        self.resume_pending = false;
+        self.failed_resumes = 0;
+        let start = client_msgs_received.saturating_sub(self.log_offset) as usize;
+        let missing: Vec<ClientMessage> = match self.client_log.get(start..) {
+            Some(tail) => tail.to_vec(),
+            None => Vec::new(),
+        };
+        self.proxy.record_retransmits(missing.len() as u64);
+        for m in &missing {
+            // Already logged the first time around.
+            self.sim.send(self.proxy_ep, encode_client(m));
+        }
+        if start > 0 {
+            // Everything before the ack count is known-received; drop it.
+            self.client_log.drain(..start.min(self.client_log.len()));
+            self.log_offset = client_msgs_received.min(self.log_offset + start as u64);
+        }
     }
 }
 
@@ -383,6 +576,125 @@ mod tests {
         s.settle(&mut ui).unwrap();
         assert!(s.server_wire_bytes() > 0);
         assert!(s.frames_delivered() >= 1);
+    }
+
+    /// Compares the proxy's reconstructed framebuffer against the
+    /// server-side UI pixel-for-pixel (transport format is Rgb888 by
+    /// default, so equality is exact).
+    fn assert_fb_converged(s: &SimSession, ui: &Ui) {
+        let remote = s.proxy.server_frame().expect("proxy holds a framebuffer");
+        let local = ui.framebuffer();
+        assert_eq!(remote.size(), local.size());
+        for y in 0..local.height() as i32 {
+            for x in 0..local.width() as i32 {
+                assert_eq!(
+                    remote.pixel(Point::new(x, y)),
+                    local.pixel(Point::new(x, y)),
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_session_resumes_incrementally_after_flap() {
+        use uniint_netsim::fault::FaultSchedule;
+
+        let mut ui = panel();
+        let mut s = SimSession::connect(&mut ui, LinkProfile::wifi80211b(), 11).unwrap();
+        s.proxy.attach_input(Box::new(TapInput));
+        // A 2 s flap opens right as the user interacts: the tap's input
+        // messages die on the wire and the connection tears down.
+        let t0 = s.now_us();
+        s.sim
+            .set_link_faults(s.proxy_ep, FaultSchedule::new().flap(t0, t0 + 2_000_000));
+        s.device_input(&mut ui, &DeviceEvent::StylusDown { x: 80, y: 45 })
+            .unwrap();
+
+        let st = s.proxy.stats();
+        assert!(st.stalls >= 1, "stall was detected: {st:?}");
+        assert!(st.backoff_attempts >= 1, "backoff ran: {st:?}");
+        assert!(st.resumes >= 1, "session resumed incrementally: {st:?}");
+        assert_eq!(st.full_resyncs, 0, "no full resync needed: {st:?}");
+        assert!(st.retransmits >= 1, "lost input was retransmitted: {st:?}");
+        // The retransmitted click arrived exactly once.
+        assert_eq!(ui.take_actions().len(), 1);
+        // Backoff waited out the flap: well past 2 s of virtual time.
+        assert!(s.now_us() >= t0 + 2_000_000);
+        assert_fb_converged(&s, &ui);
+    }
+
+    #[test]
+    fn sim_session_survives_burst_loss_mid_update() {
+        use uniint_netsim::fault::FaultSchedule;
+
+        let mut ui = panel();
+        let mut s = SimSession::connect(&mut ui, LinkProfile::bluetooth(), 23).unwrap();
+        s.proxy.attach_input(Box::new(TapInput));
+        // A plausibly bursty radio: the chain enters the bad state on a
+        // few percent of sends and then usually drops the connection.
+        s.sim
+            .set_link_faults(s.proxy_ep, FaultSchedule::new().burst_loss(0.05, 0.7, 0.8));
+        // Several rounds of interaction while the Gilbert–Elliott chain
+        // keeps snapping the link.
+        for i in 0..4 {
+            let id = ui.widget_ids()[0];
+            ui.widget_mut::<Button>(id)
+                .unwrap()
+                .set_caption(if i % 2 == 0 { "Standby" } else { "Power" });
+            s.device_input(&mut ui, &DeviceEvent::StylusDown { x: 80, y: 45 })
+                .unwrap();
+        }
+        assert_eq!(ui.take_actions().len(), 4, "every click landed once");
+        let st = s.proxy.stats();
+        assert!(
+            st.stalls >= 1,
+            "burst loss broke the link at least once: {st:?}"
+        );
+        assert_fb_converged(&s, &ui);
+    }
+
+    #[test]
+    fn sim_session_recovery_is_deterministic() {
+        use uniint_netsim::fault::FaultSchedule;
+
+        let run = |seed: u64| {
+            let mut ui = panel();
+            let mut s = SimSession::connect(&mut ui, LinkProfile::wifi80211b(), seed).unwrap();
+            s.proxy.attach_input(Box::new(TapInput));
+            let t0 = s.now_us();
+            s.sim.set_link_faults(
+                s.proxy_ep,
+                FaultSchedule::new()
+                    .flap(t0, t0 + 500_000)
+                    .burst_loss(0.2, 0.5, 0.8),
+            );
+            s.device_input(&mut ui, &DeviceEvent::StylusDown { x: 80, y: 45 })
+                .unwrap();
+            (s.now_us(), s.proxy.stats(), s.server_wire_bytes())
+        };
+        assert_eq!(run(99), run(99), "same seed, same recovery timeline");
+    }
+
+    #[test]
+    fn sim_session_stalls_out_when_flap_outlasts_backoff() {
+        use uniint_netsim::fault::FaultSchedule;
+
+        let mut ui = panel();
+        let mut s = SimSession::connect(&mut ui, LinkProfile::wifi80211b(), 31).unwrap();
+        let t0 = s.now_us();
+        // Longer than the whole backoff budget (16 attempts capped at
+        // 1 s + 25% jitter each).
+        s.sim
+            .set_link_faults(s.proxy_ep, FaultSchedule::new().flap(t0, t0 + 60_000_000));
+        s.proxy.attach_input(Box::new(TapInput));
+        let err = s
+            .device_input(&mut ui, &DeviceEvent::StylusDown { x: 80, y: 45 })
+            .unwrap_err();
+        match err {
+            SessionError::Stalled { attempts } => assert_eq!(attempts, 16),
+            other => panic!("expected Stalled, got {other}"),
+        }
     }
 
     #[test]

@@ -12,12 +12,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod link;
 pub mod sim;
 pub mod transport;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::fault::{
+        DropCause, FaultSchedule, GilbertElliott, LatencySpike, Reorder, TraceEvent, TraceKind,
+    };
     pub use crate::link::LinkProfile;
     pub use crate::sim::{Endpoint, Simulator};
     pub use crate::transport::{duplex, Pipe, PipeError};

@@ -29,6 +29,7 @@
 //! let payload = encode_rect(&pixels, rect, enc, PixelFormat::Mono1);
 //! let mut wire_bytes = BytesMut::new();
 //! ServerMessage::Update {
+//!     seq: 1,
 //!     format: PixelFormat::Mono1,
 //!     rects: vec![RectUpdate { rect, encoding: enc, payload }],
 //! }

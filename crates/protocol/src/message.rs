@@ -60,6 +60,16 @@ pub enum ClientMessage {
     Input(InputEvent),
     /// Client-side clipboard content.
     CutText(String),
+    /// Reattaches after a connection break without discarding client
+    /// state. `last_update_seq` is the sequence number of the last
+    /// [`ServerMessage::Update`] the client applied; the server re-damages
+    /// everything sent after it and answers with
+    /// [`ServerMessage::ResumeAck`] so the client knows how many of its
+    /// own messages were lost in flight.
+    Resume {
+        /// Sequence of the last update applied client-side (0 = none).
+        last_update_seq: u64,
+    },
 }
 
 /// Messages sent by the UniInt server to the proxy.
@@ -85,6 +95,10 @@ pub enum ServerMessage {
     /// race-free: updates already in flight decode with the format they
     /// were encoded in.
     Update {
+        /// Monotonically increasing update sequence number (from 1).
+        /// Echoed back in [`ClientMessage::Resume`] so the server knows
+        /// exactly which damage a reattaching client already holds.
+        seq: u64,
         /// Pixel format of every rectangle payload in this update.
         format: PixelFormat,
         /// The encoded rectangles.
@@ -101,6 +115,16 @@ pub enum ServerMessage {
         /// New height.
         height: u16,
     },
+    /// Answer to [`ClientMessage::Resume`].
+    ResumeAck {
+        /// How many client messages the server had received before the
+        /// break (Resume itself not counted). The client retransmits
+        /// everything it sent past this count.
+        client_msgs_received: u64,
+        /// True when the server could replay from its retained send log;
+        /// false means retention was exceeded and full damage was queued.
+        replayed: bool,
+    },
 }
 
 const CT_HELLO: u8 = 0;
@@ -110,12 +134,14 @@ const CT_UPDATE_REQUEST: u8 = 3;
 const CT_KEY: u8 = 4;
 const CT_POINTER: u8 = 5;
 const CT_CUT_TEXT: u8 = 6;
+const CT_RESUME: u8 = 7;
 
 const ST_INIT: u8 = 0x80;
 const ST_UPDATE: u8 = 0x81;
 const ST_BELL: u8 = 0x82;
 const ST_CUT_TEXT: u8 = 0x83;
 const ST_RESIZE: u8 = 0x84;
+const ST_RESUME_ACK: u8 = 0x85;
 
 fn put_rect(buf: &mut impl BufMut, r: Rect) {
     buf.put_u16(r.x.max(0) as u16);
@@ -173,6 +199,10 @@ impl ClientMessage {
                 body.put_u8(CT_CUT_TEXT);
                 wire::put_string(&mut body, text);
             }
+            ClientMessage::Resume { last_update_seq } => {
+                body.put_u8(CT_RESUME);
+                body.put_u64(*last_update_seq);
+            }
         }
         out.put_u32(body.len() as u32);
         out.extend_from_slice(&body);
@@ -218,6 +248,9 @@ impl ClientMessage {
                 Ok(ClientMessage::Input(InputEvent::Pointer { x, y, buttons }))
             }
             CT_CUT_TEXT => Ok(ClientMessage::CutText(wire::get_string(buf)?)),
+            CT_RESUME => Ok(ClientMessage::Resume {
+                last_update_seq: wire::get_u64(buf)?,
+            }),
             other => Err(ProtocolError::UnknownMessage(other)),
         }
     }
@@ -242,8 +275,9 @@ impl ServerMessage {
                 body.put_u8(format.wire_id());
                 wire::put_string(&mut body, name);
             }
-            ServerMessage::Update { format, rects } => {
+            ServerMessage::Update { seq, format, rects } => {
                 body.put_u8(ST_UPDATE);
+                body.put_u64(*seq);
                 body.put_u8(format.wire_id());
                 body.put_u16(rects.len() as u16);
                 for r in rects {
@@ -262,6 +296,14 @@ impl ServerMessage {
                 body.put_u8(ST_RESIZE);
                 body.put_u16(*width);
                 body.put_u16(*height);
+            }
+            ServerMessage::ResumeAck {
+                client_msgs_received,
+                replayed,
+            } => {
+                body.put_u8(ST_RESUME_ACK);
+                body.put_u64(*client_msgs_received);
+                body.put_u8(u8::from(*replayed));
             }
         }
         out.put_u32(body.len() as u32);
@@ -289,6 +331,7 @@ impl ServerMessage {
                 })
             }
             ST_UPDATE => {
+                let seq = wire::get_u64(buf)?;
                 let fid = wire::get_u8(buf)?;
                 let format =
                     PixelFormat::from_wire_id(fid).ok_or(ProtocolError::UnknownPixelFormat(fid))?;
@@ -312,13 +355,17 @@ impl ServerMessage {
                         payload,
                     });
                 }
-                Ok(ServerMessage::Update { format, rects })
+                Ok(ServerMessage::Update { seq, format, rects })
             }
             ST_BELL => Ok(ServerMessage::Bell),
             ST_CUT_TEXT => Ok(ServerMessage::CutText(wire::get_string(buf)?)),
             ST_RESIZE => Ok(ServerMessage::Resize {
                 width: wire::get_u16(buf)?,
                 height: wire::get_u16(buf)?,
+            }),
+            ST_RESUME_ACK => Ok(ServerMessage::ResumeAck {
+                client_msgs_received: wire::get_u64(buf)?,
+                replayed: wire::get_bool(buf)?,
             }),
             other => Err(ProtocolError::UnknownMessage(other)),
         }
@@ -442,6 +489,9 @@ mod tests {
             buttons: ButtonMask::LEFT | ButtonMask::RIGHT,
         }));
         client_roundtrip(ClientMessage::CutText("クリップボード".into()));
+        client_roundtrip(ClientMessage::Resume {
+            last_update_seq: u64::MAX - 3,
+        });
     }
 
     #[test]
@@ -454,6 +504,7 @@ mod tests {
             name: "TV Control".into(),
         });
         server_roundtrip(ServerMessage::Update {
+            seq: 41,
             format: PixelFormat::Gray4,
             rects: vec![
                 RectUpdate {
@@ -473,6 +524,10 @@ mod tests {
         server_roundtrip(ServerMessage::Resize {
             width: 320,
             height: 240,
+        });
+        server_roundtrip(ServerMessage::ResumeAck {
+            client_msgs_received: 17,
+            replayed: true,
         });
     }
 

@@ -38,6 +38,16 @@ pub fn get_u32(buf: &mut impl Buf) -> Result<u32> {
     Ok(buf.get_u32())
 }
 
+/// Reads a big-endian u64.
+pub fn get_u64(buf: &mut impl Buf) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(ProtocolError::Truncated {
+            needed: 8 - buf.remaining(),
+        });
+    }
+    Ok(buf.get_u64())
+}
+
 /// Reads a big-endian i32.
 pub fn get_i32(buf: &mut impl Buf) -> Result<i32> {
     Ok(get_u32(buf)? as i32)

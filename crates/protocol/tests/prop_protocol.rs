@@ -3,14 +3,26 @@
 //! arbitrary bytes (robustness against hostile/corrupt streams).
 
 use proptest::prelude::*;
-use uniint_protocol::encoding::{decode_rect, encode_rect, DecodedRect, Encoding};
+use uniint_protocol::encoding::{
+    decode_rect, encode_copy_rect, encode_rect, DecodedRect, Encoding,
+};
 use uniint_protocol::input::{ButtonMask, InputEvent, KeySym};
 use uniint_protocol::message::{
     encode_client, encode_server, ClientMessage, FrameReader, RectUpdate, ServerMessage,
 };
 use uniint_raster::color::Color;
-use uniint_raster::geom::Rect;
+use uniint_raster::geom::{Point, Rect};
 use uniint_raster::pixel::PixelFormat;
+
+/// Every pixel encoding (CopyRect is exercised separately: its payload is
+/// a source point, not pixels).
+const PIXEL_ENCODINGS: [Encoding; 5] = [
+    Encoding::Raw,
+    Encoding::Rre,
+    Encoding::Hextile,
+    Encoding::Rle,
+    Encoding::PaletteRle,
+];
 
 fn arb_color() -> impl Strategy<Value = Color> {
     (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b)| Color::rgb(r, g, b))
@@ -68,6 +80,7 @@ fn arb_client_message() -> impl Strategy<Value = ClientMessage> {
             }),
         arb_input().prop_map(ClientMessage::Input),
         ".{0,64}".prop_map(ClientMessage::CutText),
+        any::<u64>().prop_map(|last_update_seq| ClientMessage::Resume { last_update_seq }),
     ]
 }
 
@@ -97,14 +110,23 @@ fn arb_server_message() -> impl Strategy<Value = ServerMessage> {
                 }),
             0..4
         )
-        .prop_map(|rects| ServerMessage::Update {
-            format: PixelFormat::Rgb888,
-            rects
+        .prop_flat_map(|rects| {
+            any::<u64>().prop_map(move |seq| ServerMessage::Update {
+                seq,
+                format: PixelFormat::Rgb888,
+                rects: rects.clone(),
+            })
         }),
         Just(ServerMessage::Bell),
         ".{0,64}".prop_map(ServerMessage::CutText),
         (any::<u16>(), any::<u16>())
             .prop_map(|(width, height)| ServerMessage::Resize { width, height }),
+        (any::<u64>(), any::<bool>()).prop_map(|(client_msgs_received, replayed)| {
+            ServerMessage::ResumeAck {
+                client_msgs_received,
+                replayed,
+            }
+        }),
     ]
 }
 
@@ -113,8 +135,8 @@ proptest! {
 
     #[test]
     fn encodings_roundtrip_arbitrary_images((rect, px) in arb_image()) {
-        for enc in [Encoding::Raw, Encoding::Rre, Encoding::Hextile, Encoding::Rle, Encoding::PaletteRle] {
-            for fmt in [PixelFormat::Rgb888, PixelFormat::Rgb565, PixelFormat::Gray4, PixelFormat::Mono1] {
+        for enc in PIXEL_ENCODINGS {
+            for fmt in PixelFormat::ALL {
                 let reduced: Vec<Color> = px.iter().map(|&c| fmt.reduce(c)).collect();
                 let bytes = encode_rect(&reduced, rect, enc, fmt);
                 let mut cursor: &[u8] = &bytes;
@@ -127,6 +149,32 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn copy_rect_roundtrips_arbitrary_points((x, y) in (0u16..u16::MAX, 0u16..u16::MAX)) {
+        let src = Point::new(x as i32, y as i32);
+        let bytes = encode_copy_rect(src);
+        for fmt in PixelFormat::ALL {
+            let mut cursor: &[u8] = &bytes;
+            match decode_rect(&mut cursor, Rect::new(0, 0, 8, 8), Encoding::CopyRect, fmt) {
+                Ok(DecodedRect::CopyFrom(p)) => {
+                    prop_assert_eq!(p, src);
+                    prop_assert!(cursor.is_empty());
+                }
+                other => return Err(TestCaseError::fail(format!("copyrect/{fmt}: {other:?}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_copy_rect_errors_not_panics(keep in 0usize..4) {
+        let bytes = encode_copy_rect(Point::new(12, 34));
+        let mut cursor: &[u8] = &bytes[..keep];
+        prop_assert!(
+            decode_rect(&mut cursor, Rect::new(0, 0, 4, 4), Encoding::CopyRect, PixelFormat::Rgb888)
+                .is_err()
+        );
     }
 
     #[test]
@@ -167,7 +215,7 @@ proptest! {
         let _ = ServerMessage::decode_body(&mut bytes.as_slice());
         let rect = Rect::new(0, 0, 16, 16);
         for enc in Encoding::ALL {
-            for fmt in [PixelFormat::Rgb888, PixelFormat::Mono1] {
+            for fmt in PixelFormat::ALL {
                 let _ = decode_rect(&mut bytes.as_slice(), rect, enc, fmt);
             }
         }
@@ -180,15 +228,34 @@ proptest! {
 
     #[test]
     fn truncated_encodings_error_not_panic((rect, px) in arb_image(), keep_frac in 0.0f64..1.0) {
-        for enc in [Encoding::Raw, Encoding::Rre, Encoding::Hextile, Encoding::Rle, Encoding::PaletteRle] {
-            let bytes = encode_rect(&px, rect, enc, PixelFormat::Rgb888);
-            let keep = ((bytes.len() as f64) * keep_frac) as usize;
-            if keep == bytes.len() {
+        for enc in PIXEL_ENCODINGS {
+            for fmt in PixelFormat::ALL {
+                let reduced: Vec<Color> = px.iter().map(|&c| fmt.reduce(c)).collect();
+                let bytes = encode_rect(&reduced, rect, enc, fmt);
+                let keep = ((bytes.len() as f64) * keep_frac) as usize;
+                if keep == bytes.len() {
+                    continue;
+                }
+                let mut cursor: &[u8] = &bytes[..keep];
+                // Either a clean error, or (for prefix-complete encodings
+                // such as RLE with zero runs) a decode that must not panic.
+                let _ = decode_rect(&mut cursor, rect, enc, fmt);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_encodings_error_not_panic((rect, px) in arb_image(), flip in 0usize..64, xor in 1u8..=255) {
+        for enc in PIXEL_ENCODINGS {
+            let mut bytes = encode_rect(&px, rect, enc, PixelFormat::Rgb888);
+            if bytes.is_empty() {
                 continue;
             }
-            let mut cursor: &[u8] = &bytes[..keep];
-            // Either a clean error, or (for prefix-complete encodings such
-            // as RLE with zero runs) a decode that must not panic.
+            let i = flip % bytes.len();
+            bytes[i] ^= xor;
+            let mut cursor: &[u8] = &bytes;
+            // Corruption may still decode (payload bytes are data), but it
+            // must never panic or read past the buffer.
             let _ = decode_rect(&mut cursor, rect, enc, PixelFormat::Rgb888);
         }
     }

@@ -53,6 +53,7 @@ fn proxy_recovers_from_corrupt_update() {
     );
     proxy
         .handle_server(&ServerMessage::Update {
+            seq: 1,
             format: PixelFormat::Rgb888,
             rects: vec![RectUpdate {
                 rect: Rect::new(0, 0, 32, 32),
@@ -63,6 +64,7 @@ fn proxy_recovers_from_corrupt_update() {
         .unwrap();
     // A corrupt update fails...
     let bad = ServerMessage::Update {
+        seq: 2,
         format: PixelFormat::Rgb888,
         rects: vec![RectUpdate {
             rect: Rect::new(0, 0, 32, 32),
@@ -84,6 +86,7 @@ fn proxy_recovers_from_corrupt_update() {
     );
     proxy
         .handle_server(&ServerMessage::Update {
+            seq: 3,
             format: PixelFormat::Rgb888,
             rects: vec![RectUpdate {
                 rect: Rect::new(0, 0, 32, 32),
@@ -230,4 +233,87 @@ fn device_storm_during_hotplug_is_safe() {
             "round {round}"
         );
     }
+}
+
+/// One interaction round under an active fault schedule; returns the
+/// session for post-mortem assertions.
+fn interact_under_faults(
+    link: LinkProfile,
+    seed: u64,
+    schedule: impl Fn(u64) -> FaultSchedule,
+) -> (HomeNetwork, ControlPanelApp, SimSession) {
+    let mut net = HomeNetwork::new();
+    net.attach(
+        DeviceSpec::new("TV", "living-room")
+            .with_fcm(TunerFcm::new("TV Tuner", 12))
+            .with_fcm(DisplayFcm::new("TV Display", 2)),
+    );
+    let mut app = ControlPanelApp::new(&mut net, None, Theme::classic());
+    let mut s = SimSession::connect(app.ui_mut(), link, seed)
+        .unwrap_or_else(|e| panic!("{}: connect: {e}", link.name));
+    s.proxy.attach_input(Box::new(KeypadPlugin::new()));
+    let ep = s.proxy_endpoint();
+    let t0 = s.now_us();
+    s.sim.set_link_faults(ep, schedule(t0));
+    // Toggle TV power while the fault schedule is live.
+    s.device_input(app.ui_mut(), &SimPhone::press('5').unwrap())
+        .unwrap_or_else(|e| panic!("{}: input: {e}", link.name));
+    app.process(&mut net);
+    s.settle(app.ui_mut())
+        .unwrap_or_else(|e| panic!("{}: settle: {e}", link.name));
+    (net, app, s)
+}
+
+#[test]
+fn fault_matrix_converges_on_every_link() {
+    let links = [
+        LinkProfile::wifi80211b(),
+        LinkProfile::bluetooth(),
+        LinkProfile::cellular_gprs(),
+    ];
+    type Fault = (&'static str, fn(u64) -> FaultSchedule);
+    let faults: [Fault; 3] = [
+        ("burst-loss", |_t0| {
+            FaultSchedule::new().burst_loss(0.05, 0.7, 0.8)
+        }),
+        ("flap", |t0| FaultSchedule::new().flap(t0, t0 + 2_000_000)),
+        ("latency-spike", |t0| {
+            FaultSchedule::new()
+                .latency_spike(t0, t0 + 3_000_000, 250_000)
+                .reorder(0.2, 5_000)
+                .duplicate(0.1)
+        }),
+    ];
+    for link in links {
+        for (fault_name, schedule) in faults {
+            let (net, app, s) = interact_under_faults(link, 77, schedule);
+            let tuner = net.find_fcms(&Query::new().class(FcmClass::Tuner))[0];
+            assert!(
+                net.status(tuner).unwrap().contains(&StateVar::Power(true)),
+                "{}/{fault_name}: power command arrived exactly once",
+                link.name
+            );
+            assert_eq!(
+                s.proxy.server_frame().unwrap(),
+                app.ui().framebuffer(),
+                "{}/{fault_name}: proxy converged to the server framebuffer",
+                link.name
+            );
+        }
+    }
+}
+
+#[test]
+fn flap_recovery_is_incremental_not_full_resync() {
+    // The acceptance scenario: a 2 s link flap in the middle of an
+    // interaction must be healed by *incremental* resume.
+    let (_net, _app, s) = interact_under_faults(LinkProfile::wifi80211b(), 42, |t0| {
+        FaultSchedule::new().flap(t0, t0 + 2_000_000)
+    });
+    let st = s.proxy.stats();
+    assert!(st.resumes >= 1, "incremental resume happened: {st:?}");
+    assert_eq!(
+        st.full_resyncs, 0,
+        "never fell back to full refresh: {st:?}"
+    );
 }

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the `bytes` 1.x API that this workspace
+//! uses: the [`Buf`]/[`BufMut`] cursor traits, the growable [`BytesMut`]
+//! buffer and the frozen [`Bytes`] view. Behaviour matches the real
+//! crate for that subset (big-endian getters/putters, panicking on
+//! underflow, `split_to`, `advance`, `freeze`).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read cursor over a contiguous byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consumes `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte. Panics on underflow (use checked helpers upstream).
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_be_bytes(raw)
+    }
+
+    /// Copies exactly `dst.len()` bytes out, panicking on underflow.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "Buf underflow");
+        let mut filled = 0;
+        while filled < dst.len() {
+            let chunk = self.chunk();
+            let take = chunk.len().min(dst.len() - filled);
+            dst[filled..filled + take].copy_from_slice(&chunk[..take]);
+            filled += take;
+            self.advance(take);
+        }
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write sink for growing byte buffers.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable byte buffer with cheap front consumption.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read offset: everything before it is consumed.
+    head: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether nothing unconsumed remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        // Reclaim consumed space occasionally so long-lived stream
+        // buffers don't grow without bound.
+        if self.head > 4096 && self.head * 2 > self.data.len() {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` unconsumed bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let out = self.data[self.head..self.head + at].to_vec();
+        self.head += at;
+        BytesMut { data: out, head: 0 }
+    }
+
+    /// Copies the unconsumed bytes into a standalone vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.head..].to_vec()
+    }
+
+    /// Freezes into an immutable, consumable view.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            head: self.head,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.head..]
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.head += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// An immutable byte buffer that can be consumed via [`Buf`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    head: usize,
+}
+
+impl Bytes {
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether nothing unconsumed remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.head += cnt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x04050607);
+        b.put_u64(0x08090a0b0c0d0e0f);
+        assert_eq!(b.len(), 15);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.get_u16(), 0x0203);
+        assert_eq!(r.get_u32(), 0x04050607);
+        assert_eq!(r.get_u64(), 0x08090a0b0c0d0e0f);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn split_and_advance() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[1, 2, 3, 4, 5]);
+        b.advance(1);
+        let front = b.split_to(2);
+        assert_eq!(&front[..], &[2, 3]);
+        assert_eq!(&b[..], &[4, 5]);
+        assert_eq!(b.to_vec(), vec![4, 5]);
+    }
+
+    #[test]
+    fn slice_buf() {
+        let mut s: &[u8] = &[0, 1, 0, 2];
+        assert_eq!(s.get_u16(), 1);
+        assert_eq!(s.get_u16(), 2);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let mut s: &[u8] = &[1];
+        let _ = s.get_u32();
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the
+//! sibling `serde_derive` stand-in. No trait machinery is provided
+//! because nothing in the workspace serializes through serde — the
+//! universal protocol has its own explicit wire format (`uniint-protocol`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
