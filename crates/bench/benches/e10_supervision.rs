@@ -1,0 +1,126 @@
+//! E10 — Cost of the device supervision layer.
+//!
+//! Three measurements bound what fault isolation buys and what it costs:
+//! the per-event overhead of the supervising shim on a healthy input
+//! plug-in (bare vs supervised translate), the cost of an idle
+//! supervisor tick over a full home of healthy devices, and the price of
+//! a complete quarantine → failover → probation → readmission cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uniint_core::coordinator::InteractionDevice;
+use uniint_core::plugin::{InputContext, InputPlugin};
+use uniint_core::prelude::*;
+use uniint_devices::prelude::*;
+use uniint_raster::geom::Size;
+
+fn ctx() -> InputContext {
+    InputContext {
+        server_size: Size::new(320, 240),
+        device_view: Size::new(240, 180),
+    }
+}
+
+/// Bare plug-in translate: the baseline the shim is compared against.
+fn bench_translate_bare(c: &mut Criterion) {
+    let mut plugin = KeypadPlugin::new();
+    let ctx = ctx();
+    c.bench_function("e10_supervision/translate_bare", |b| {
+        b.iter(|| black_box(plugin.translate(black_box(&DeviceEvent::KeypadDigit(5)), &ctx)));
+    });
+}
+
+/// The same translate through the fault-isolating shim (catch_unwind,
+/// fuel accounting, outcome ledger).
+fn bench_translate_supervised(c: &mut Criterion) {
+    let mut sup = Supervisor::new(1);
+    let dev = sup.supervise(SimPhone::interaction_device("phone-1"));
+    let mut slot: Option<Box<dyn InputPlugin>> = None;
+    let _dev = dev.map_input_factory(|f| {
+        slot = Some(f());
+        f
+    });
+    let mut plugin = slot.expect("phone has an input plug-in");
+    let ctx = ctx();
+    c.bench_function("e10_supervision/translate_supervised", |b| {
+        b.iter(|| black_box(plugin.translate(black_box(&DeviceEvent::KeypadDigit(5)), &ctx)));
+    });
+}
+
+/// An idle supervisor tick over a healthy 8-device home: ledger drain,
+/// heartbeat bookkeeping, availability re-assertion, no transitions.
+fn bench_tick_idle(c: &mut Criterion) {
+    let mut sup = Supervisor::new(2);
+    let mut coord = Coordinator::new(UserProfile::neutral("u"), Situation::idle("living-room"));
+    let mut proxy = UniIntProxy::new("bench");
+    let devices: Vec<InteractionDevice> = standard_home("kitchen", "living-room")
+        .into_iter()
+        .map(|d| sup.supervise(d))
+        .collect();
+    let ids: Vec<String> = devices.iter().map(|d| d.descriptor().id.clone()).collect();
+    for dev in devices {
+        coord.register(dev, &mut proxy);
+    }
+    let mut now = 0u64;
+    c.bench_function("e10_supervision/tick_idle_8_devices", |b| {
+        b.iter(|| {
+            now += 100_000;
+            for id in &ids {
+                sup.heartbeat(id, now);
+            }
+            black_box(sup.tick(now, &mut coord, &mut proxy));
+        });
+    });
+}
+
+/// A full quarantine → failover → probation → readmission cycle: a
+/// panicking preferred input is demoted, the backup takes over, the
+/// probation expires and the device earns its way back.
+fn bench_quarantine_failover_cycle(c: &mut Criterion) {
+    c.bench_function("e10_supervision/quarantine_failover_cycle", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut sup = Supervisor::new(seed);
+            let mut profile = UserProfile::neutral("u");
+            profile.input_ranking = vec![InputModality::Stylus, InputModality::Keypad];
+            let mut coord = Coordinator::new(profile, Situation::idle("living-room"));
+            let mut proxy = UniIntProxy::new("bench");
+            let schedule = (0..4).fold(DeviceFaultSchedule::new(), |s, i| s.panic_on_input(i));
+            let (faulty, _h) =
+                FaultyDevice::wrap(SimPda::interaction_device("pda-1"), schedule, seed);
+            for dev in [
+                sup.supervise(faulty),
+                sup.supervise(SimPhone::interaction_device("phone-1")),
+                sup.supervise(tv_interaction_device("tv-lr", "living-room")),
+            ] {
+                coord.register(dev, &mut proxy);
+            }
+            // Trip the quarantine, fail over, then let probation expire
+            // and the clean streak readmit.
+            for _ in 0..4 {
+                proxy.device_input(&DeviceEvent::StylusMove { x: 5, y: 5 });
+            }
+            let mut now = 1_000u64;
+            sup.tick(now, &mut coord, &mut proxy);
+            for _ in 0..12 {
+                now += 200_000;
+                sup.heartbeat("pda-1", now);
+                sup.heartbeat("phone-1", now);
+                sup.heartbeat("tv-lr", now);
+                proxy.device_input(&DeviceEvent::StylusMove { x: 5, y: 5 });
+                sup.tick(now, &mut coord, &mut proxy);
+            }
+            black_box(sup.stats())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_translate_bare,
+    bench_translate_supervised,
+    bench_tick_idle,
+    bench_quarantine_failover_cycle
+);
+criterion_main!(benches);

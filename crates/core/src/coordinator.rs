@@ -3,6 +3,8 @@
 //! the situation changes, and performs the dynamic plug-in switches on
 //! the proxy.
 
+use std::collections::BTreeSet;
+
 use crate::context::{DeviceDescriptor, SelectionPolicy, Situation, UserProfile};
 use crate::plugin::{InputPlugin, OutputPlugin};
 use crate::proxy::UniIntProxy;
@@ -58,6 +60,26 @@ impl InteractionDevice {
     pub fn descriptor(&self) -> &DeviceDescriptor {
         &self.descriptor
     }
+
+    /// Rewrites the input factory through `wrap` (no-op when the device
+    /// has none). This is how supervisors and chaos harnesses interpose
+    /// shims without access to the private factory field.
+    pub fn map_input_factory(
+        mut self,
+        wrap: impl FnOnce(InputFactory) -> InputFactory,
+    ) -> InteractionDevice {
+        self.input_factory = self.input_factory.take().map(wrap);
+        self
+    }
+
+    /// Rewrites the output factory through `wrap` (no-op when absent).
+    pub fn map_output_factory(
+        mut self,
+        wrap: impl FnOnce(OutputFactory) -> OutputFactory,
+    ) -> InteractionDevice {
+        self.output_factory = self.output_factory.take().map(wrap);
+        self
+    }
 }
 
 /// What a reselection changed.
@@ -86,6 +108,10 @@ pub struct Coordinator {
     situation: Situation,
     active_input: Option<String>,
     active_output: Option<String>,
+    /// Device ids excluded from selection (quarantined/dead, as told by
+    /// the supervisor). Orthogonal to registration: an excluded device
+    /// stays registered and resumes competing once readmitted.
+    excluded: BTreeSet<String>,
 }
 
 impl core::fmt::Debug for Coordinator {
@@ -109,6 +135,7 @@ impl Coordinator {
             situation,
             active_input: None,
             active_output: None,
+            excluded: BTreeSet::new(),
         }
     }
 
@@ -134,8 +161,20 @@ impl Coordinator {
 
     /// Registers a device (it became reachable) and reselects.
     pub fn register(&mut self, device: InteractionDevice, proxy: &mut UniIntProxy) -> SwitchReport {
-        self.devices
-            .retain(|d| d.descriptor.id != device.descriptor.id);
+        let id = device.descriptor.id.clone();
+        self.devices.retain(|d| d.descriptor.id != id);
+        // Re-registering the active device replaces its factories, so the
+        // currently attached plug-ins are stale: detach and let reselect
+        // upload fresh ones. Without this, a churned device keeps serving
+        // through plug-ins from a registration that no longer exists.
+        if self.active_input.as_deref() == Some(id.as_str()) {
+            self.active_input = None;
+            proxy.detach_input();
+        }
+        if self.active_output.as_deref() == Some(id.as_str()) {
+            self.active_output = None;
+            proxy.detach_output();
+        }
         self.devices.push(device);
         self.reselect(proxy)
     }
@@ -146,6 +185,7 @@ impl Coordinator {
     pub fn unregister(&mut self, id: &str, proxy: &mut UniIntProxy) -> SwitchReport {
         let before = self.devices.len();
         self.devices.retain(|d| d.descriptor.id != id);
+        self.excluded.remove(id);
         if self.devices.len() == before {
             return SwitchReport::default();
         }
@@ -173,16 +213,38 @@ impl Coordinator {
         self.reselect(proxy)
     }
 
+    /// Marks a device as (un)available for selection without touching its
+    /// registration. The supervisor calls this when health transitions
+    /// quarantine or readmit a device; it does *not* reselect — callers
+    /// batch availability changes and then [`Coordinator::reselect`].
+    pub fn set_available(&mut self, id: &str, available: bool) -> bool {
+        if available {
+            self.excluded.remove(id)
+        } else {
+            self.excluded.insert(id.to_owned())
+        }
+    }
+
+    /// Whether a device id is currently eligible for selection.
+    pub fn is_available(&self, id: &str) -> bool {
+        !self.excluded.contains(id)
+    }
+
     /// Applies the policy, switching plug-ins where the best device
-    /// differs from the active one.
+    /// differs from the active one. Only devices that actually carry the
+    /// relevant plug-in factory and are not excluded compete for a role.
     pub fn reselect(&mut self, proxy: &mut UniIntProxy) -> SwitchReport {
-        let descriptors: Vec<DeviceDescriptor> =
-            self.devices.iter().map(|d| d.descriptor.clone()).collect();
         let mut report = SwitchReport::default();
 
+        let input_candidates: Vec<DeviceDescriptor> = self
+            .devices
+            .iter()
+            .filter(|d| d.input_factory.is_some() && !self.excluded.contains(&d.descriptor.id))
+            .map(|d| d.descriptor.clone())
+            .collect();
         let best_input = self
             .policy
-            .select_input(&descriptors, &self.situation, &self.profile)
+            .select_input(&input_candidates, &self.situation, &self.profile)
             .map(|d| d.id.clone());
         if best_input != self.active_input {
             match &best_input {
@@ -192,11 +254,13 @@ impl Coordinator {
                         .iter()
                         .find(|d| &d.descriptor.id == id)
                         .expect("selected device is registered");
-                    if let Some(f) = &dev.input_factory {
-                        proxy.attach_input(f());
-                        report.input_switched_to = Some(id.clone());
-                        self.active_input = best_input.clone();
-                    }
+                    let f = dev
+                        .input_factory
+                        .as_ref()
+                        .expect("input candidates carry a factory");
+                    proxy.attach_input(f());
+                    report.input_switched_to = Some(id.clone());
+                    self.active_input = best_input.clone();
                 }
                 None => {
                     proxy.detach_input();
@@ -205,9 +269,15 @@ impl Coordinator {
             }
         }
 
+        let output_candidates: Vec<DeviceDescriptor> = self
+            .devices
+            .iter()
+            .filter(|d| d.output_factory.is_some() && !self.excluded.contains(&d.descriptor.id))
+            .map(|d| d.descriptor.clone())
+            .collect();
         let best_output = self
             .policy
-            .select_output(&descriptors, &self.situation, &self.profile)
+            .select_output(&output_candidates, &self.situation, &self.profile)
             .map(|d| d.id.clone());
         if best_output != self.active_output {
             match &best_output {
@@ -217,11 +287,13 @@ impl Coordinator {
                         .iter()
                         .find(|d| &d.descriptor.id == id)
                         .expect("selected device is registered");
-                    if let Some(f) = &dev.output_factory {
-                        report.messages = proxy.attach_output(f());
-                        report.output_switched_to = Some(id.clone());
-                        self.active_output = best_output.clone();
-                    }
+                    let f = dev
+                        .output_factory
+                        .as_ref()
+                        .expect("output candidates carry a factory");
+                    report.messages = proxy.attach_output(f());
+                    report.output_switched_to = Some(id.clone());
+                    self.active_output = best_output.clone();
                 }
                 None => {
                     proxy.detach_output();
@@ -411,6 +483,66 @@ mod tests {
         coord.register(phone(), &mut proxy);
         coord.register(phone(), &mut proxy);
         assert_eq!(coord.descriptors().len(), 1);
+    }
+
+    #[test]
+    fn re_register_active_device_reattaches_fresh_plugin() {
+        let mut proxy = UniIntProxy::new("p");
+        let mut coord = Coordinator::new(UserProfile::neutral("u"), Situation::idle("kitchen"));
+        coord.register(phone(), &mut proxy);
+        assert_eq!(proxy.attached().0, Some("keypad"));
+        // Same id returns with a *different* plug-in: the proxy must not
+        // keep serving through the stale one.
+        let v2 = InteractionDevice::new(
+            DeviceDescriptor::carried("phone-1", "Phone").with_input(InputModality::Keypad),
+        )
+        .with_input_factory(Box::new(|| Box::new(NullInput("keypad-v2"))));
+        let report = coord.register(v2, &mut proxy);
+        assert_eq!(report.input_switched_to.as_deref(), Some("phone-1"));
+        assert_eq!(proxy.attached().0, Some("keypad-v2"));
+    }
+
+    #[test]
+    fn excluded_device_loses_selection_and_readmission_restores_it() {
+        let mut proxy = UniIntProxy::new("p");
+        let mut coord = Coordinator::new(UserProfile::neutral("u"), cooking());
+        coord.register(phone(), &mut proxy);
+        coord.register(kitchen_mic(), &mut proxy);
+        assert_eq!(coord.active_input(), Some("mic-1"));
+        coord.set_available("mic-1", false);
+        let report = coord.reselect(&mut proxy);
+        assert_eq!(report.input_switched_to.as_deref(), Some("phone-1"));
+        assert_eq!(proxy.attached().0, Some("keypad"));
+        coord.set_available("mic-1", true);
+        let report = coord.reselect(&mut proxy);
+        assert_eq!(report.input_switched_to.as_deref(), Some("mic-1"));
+    }
+
+    #[test]
+    fn excluding_every_device_detaches() {
+        let mut proxy = UniIntProxy::new("p");
+        let mut coord = Coordinator::new(UserProfile::neutral("u"), cooking());
+        coord.register(kitchen_mic(), &mut proxy);
+        coord.set_available("mic-1", false);
+        coord.reselect(&mut proxy);
+        assert_eq!(coord.active_input(), None);
+        assert_eq!(proxy.attached().0, None);
+    }
+
+    #[test]
+    fn factory_less_descriptor_is_not_a_candidate() {
+        // A device advertising input modality but uploading no plug-in
+        // must never win selection (previously it won and the attach was
+        // silently skipped, wedging the active slot).
+        let mut proxy = UniIntProxy::new("p");
+        let mut coord = Coordinator::new(UserProfile::neutral("u"), cooking());
+        let ghost = InteractionDevice::new(
+            DeviceDescriptor::fixed("ghost", "Ghost", "kitchen").with_input(InputModality::Voice),
+        );
+        coord.register(ghost, &mut proxy);
+        coord.register(phone(), &mut proxy);
+        assert_eq!(coord.active_input(), Some("phone-1"));
+        assert_eq!(proxy.attached().0, Some("keypad"));
     }
 
     #[test]

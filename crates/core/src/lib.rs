@@ -19,7 +19,11 @@
 //!   situation changes — cooking selects voice, the sofa selects the
 //!   remote and the TV;
 //! - [`session`] wires the pieces end-to-end, in memory or across the
-//!   network simulator.
+//!   network simulator;
+//! - [`supervisor`] hardens the device boundary: plug-in calls run in
+//!   fault-isolating shims, per-device health drives quarantine and
+//!   automatic failover, and a built-in fallback terminal keeps the
+//!   interaction alive when every real output device has died.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@ pub mod proxy;
 pub mod sensors;
 pub mod server;
 pub mod session;
+pub mod supervisor;
 
 /// Convenient re-exports of the core surface.
 pub mod prelude {
@@ -49,4 +54,8 @@ pub mod prelude {
     pub use crate::sensors::{SensorReading, SituationTracker};
     pub use crate::server::{ServerStats, UniIntServer};
     pub use crate::session::{LocalSession, SessionError, SimSession};
+    pub use crate::supervisor::{
+        FallbackTerminal, HealthEvent, HealthState, Supervisor, SupervisorConfig, SupervisorReport,
+        SupervisorStats, TransitionCause,
+    };
 }

@@ -12,6 +12,7 @@
 use crate::plugin::{DeviceEvent, DeviceFrame, InputContext, InputPlugin, OutputPlugin};
 use uniint_protocol::encoding::{decode_rect, DecodedRect, Encoding};
 use uniint_protocol::error::ProtocolError;
+use uniint_protocol::input::InputEvent;
 use uniint_protocol::message::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
 use uniint_raster::color::Color;
 use uniint_raster::framebuffer::Framebuffer;
@@ -54,7 +55,16 @@ pub struct ProxyStats {
     /// Full resynchronizations: the server could not replay, or recovery
     /// discarded the cached framebuffer and requested everything again.
     pub full_resyncs: u64,
+    /// Universal events merged away by pointer-move coalescing.
+    pub events_coalesced: u64,
+    /// Universal events dropped by the per-call flood cap.
+    pub flood_dropped: u64,
 }
+
+/// Most universal events one device event may queue. A translate call
+/// returning more (an event storm) is coalesced and then truncated, so a
+/// misbehaving plug-in cannot grow the outgoing queue without bound.
+pub const MAX_EVENTS_PER_DEVICE_EVENT: usize = 64;
 
 /// The universal interaction proxy.
 ///
@@ -105,6 +115,12 @@ impl UniIntProxy {
     /// Accumulated statistics.
     pub fn stats(&self) -> ProxyStats {
         self.stats
+    }
+
+    /// The pixel format updates are currently transported in (the active
+    /// output device's format, or the server's native format).
+    pub fn transport_format(&self) -> PixelFormat {
+        self.format
     }
 
     /// The reconstructed server framebuffer, when connected.
@@ -341,12 +357,37 @@ impl UniIntProxy {
             device_view,
         };
         let events = plugin.translate(ev, &ctx);
-        if events.is_empty() {
+
+        // Flood protection. A storming plug-in (or a high-rate stylus)
+        // can return far more events than one device event warrants; the
+        // queue must stay bounded. Consecutive pointer events with the
+        // same button state are pure moves — only the last one matters.
+        let mut queue: Vec<InputEvent> = Vec::with_capacity(events.len().min(16));
+        for e in events {
+            if let InputEvent::Pointer { buttons, .. } = e {
+                let mergeable = matches!(
+                    queue.last(),
+                    Some(InputEvent::Pointer { buttons: prev, .. }) if *prev == buttons
+                );
+                if mergeable {
+                    *queue.last_mut().expect("just matched") = e;
+                    self.stats.events_coalesced += 1;
+                    continue;
+                }
+            }
+            if queue.len() >= MAX_EVENTS_PER_DEVICE_EVENT {
+                self.stats.flood_dropped += 1;
+                continue;
+            }
+            queue.push(e);
+        }
+
+        if queue.is_empty() {
             self.stats.events_dropped += 1;
         } else {
-            self.stats.events_translated += events.len() as u64;
+            self.stats.events_translated += queue.len() as u64;
         }
-        events.into_iter().map(ClientMessage::Input).collect()
+        queue.into_iter().map(ClientMessage::Input).collect()
     }
 }
 
@@ -563,6 +604,84 @@ mod tests {
         p.attach_input(Box::new(TestInput));
         assert!(p.device_input(&DeviceEvent::KeypadSelect).is_empty());
         assert_eq!(p.stats().events_dropped, 1);
+    }
+
+    /// Returns `n` identical-button pointer moves followed by a click.
+    #[derive(Debug)]
+    struct StormInput(usize);
+
+    impl InputPlugin for StormInput {
+        fn kind(&self) -> &'static str {
+            "storm-input"
+        }
+        fn translate(&mut self, _ev: &DeviceEvent, _ctx: &InputContext) -> Vec<InputEvent> {
+            let mut out: Vec<InputEvent> = (0..self.0)
+                .map(|i| InputEvent::Pointer {
+                    x: i as u16,
+                    y: 0,
+                    buttons: uniint_protocol::input::ButtonMask::NONE,
+                })
+                .collect();
+            out.extend(InputEvent::click(5, 5));
+            out
+        }
+    }
+
+    #[test]
+    fn pointer_moves_coalesce_to_last_position() {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        p.attach_input(Box::new(StormInput(10)));
+        let msgs = p.device_input(&DeviceEvent::KeypadSelect);
+        // 10 moves collapse to 1, the click's press+release survive as 2.
+        assert_eq!(msgs.len(), 3);
+        match msgs[0] {
+            ClientMessage::Input(InputEvent::Pointer { x, .. }) => {
+                assert_eq!(x, 9, "last move wins");
+            }
+            ref other => panic!("{other:?}"),
+        }
+        assert_eq!(p.stats().events_coalesced, 9);
+        assert_eq!(p.stats().events_translated, 3);
+        assert_eq!(p.stats().flood_dropped, 0);
+    }
+
+    #[test]
+    fn event_storm_is_capped() {
+        #[derive(Debug)]
+        struct KeyStorm;
+        impl InputPlugin for KeyStorm {
+            fn kind(&self) -> &'static str {
+                "key-storm"
+            }
+            fn translate(&mut self, _: &DeviceEvent, _: &InputContext) -> Vec<InputEvent> {
+                // Keys never coalesce: the cap is the only defense.
+                (0..1000)
+                    .flat_map(|_| InputEvent::key_tap('x'.into()))
+                    .collect()
+            }
+        }
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&init_msg()).unwrap();
+        p.attach_input(Box::new(KeyStorm));
+        let msgs = p.device_input(&DeviceEvent::KeypadSelect);
+        assert_eq!(msgs.len(), MAX_EVENTS_PER_DEVICE_EVENT);
+        assert_eq!(
+            p.stats().flood_dropped,
+            2000 - MAX_EVENTS_PER_DEVICE_EVENT as u64
+        );
+        assert_eq!(
+            p.stats().events_translated,
+            MAX_EVENTS_PER_DEVICE_EVENT as u64
+        );
+    }
+
+    #[test]
+    fn transport_format_tracks_output_caps() {
+        let mut p = UniIntProxy::new("p");
+        assert_eq!(p.transport_format(), PixelFormat::Rgb888);
+        p.attach_output(Box::new(TestOutput));
+        assert_eq!(p.transport_format(), PixelFormat::Mono1);
     }
 
     #[test]

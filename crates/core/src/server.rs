@@ -48,6 +48,8 @@ pub struct ServerStats {
     pub payload_bytes: u64,
     /// Input events injected into the window system.
     pub inputs_injected: u64,
+    /// Device-health notifications received from the proxy's supervisor.
+    pub health_reports: u64,
 }
 
 /// The UniInt server endpoint for one window.
@@ -148,6 +150,12 @@ impl UniIntServer {
                 Vec::new()
             }
             ClientMessage::CutText(_) => Vec::new(),
+            ClientMessage::DeviceHealth { .. } => {
+                // Telemetry only: the appliance side may surface it to the
+                // user, but the session state does not depend on it.
+                self.stats.health_reports += 1;
+                Vec::new()
+            }
             ClientMessage::Resume { last_update_seq } => {
                 let Some(c) = &mut self.client else {
                     // No session to resume (e.g. the server restarted);

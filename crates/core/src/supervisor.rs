@@ -1,0 +1,1294 @@
+//! Device supervision: plug-in fault isolation, health tracking and
+//! automatic failover.
+//!
+//! The paper's proxy hosts plug-in modules *uploaded by the interaction
+//! devices themselves* — which only works in practice if the proxy
+//! survives misbehaving plug-ins and silently-dead devices. This module
+//! is the device-boundary dual of `uniint_netsim::fault` (which hardens
+//! the *link*): every supervised plug-in call runs inside a fault
+//! isolating shim, and a per-device health state machine drives
+//! quarantine, probation and failover.
+//!
+//! # Health state machine
+//!
+//! ```text
+//!             clean streak                consecutive faults
+//!   Healthy ◄──────────────── Degraded ◄──────────────────────┐
+//!      │                         │  ▲                         │
+//!      │ fault / missed          │  │ probation expires       │ faults
+//!      │ heartbeat               │  │ (seeded backoff)        │ keep
+//!      ▼                         ▼  │                         │ coming
+//!   Degraded ────────────► Quarantined ────────────────────► Dead
+//!         consecutive faults          quarantined too often,
+//!         reach the threshold         or heartbeats stop
+//! ```
+//!
+//! - **Healthy** — calls flow through the shim unimpeded.
+//! - **Degraded** — recent faults or a missed heartbeat; the device is
+//!   still selectable but one more burst away from quarantine.
+//! - **Quarantined** — excluded from selection; readmitted on probation
+//!   after an escalating, seeded backoff (mirroring the session-level
+//!   reconnect backoff from `crate::session`).
+//! - **Dead** — terminal: too many quarantines, or heartbeats stopped
+//!   long enough to declare the hardware gone.
+//!
+//! When the *active* device is quarantined or dies, [`Supervisor::tick`]
+//! drives [`Coordinator::reselect`] to fail over to the best remaining
+//! device without touching session state — the server never notices, so
+//! the PR 1 resume machinery keeps working underneath. If no output
+//! device remains at all, a built-in [`FallbackTerminal`] keeps the
+//! interaction alive on an 80×24 text screen.
+//!
+//! # Fault isolation
+//!
+//! [`Supervisor::supervise`] wraps a device's plug-in factories so every
+//! produced plug-in is shimmed:
+//!
+//! - `catch_unwind` contains panics (the panic hook is silenced around
+//!   supervised calls so injected panics do not spam test output);
+//! - a per-call **step budget** bounds runaway work: cooperative plug-in
+//!   loops call [`consume_fuel`] and abort when it returns `false`, and
+//!   a call that drains its whole budget is recorded as a timeout;
+//! - returned values are validated: out-of-range pointer events and
+//!   oversized frames count as garbage faults and are dropped/replaced.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, Once};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uniint_protocol::input::InputEvent;
+use uniint_protocol::message::{ClientMessage, DeviceHealthState};
+use uniint_raster::color::Color;
+use uniint_raster::dither::{dither_to_format, DitherMode};
+use uniint_raster::framebuffer::Framebuffer;
+use uniint_raster::geom::Size;
+use uniint_raster::pixel::PixelFormat;
+use uniint_raster::scale::{scale_to_fit, ScaleFilter};
+
+use crate::coordinator::Coordinator;
+use crate::coordinator::InteractionDevice;
+use crate::plugin::{DeviceFrame, InputContext, InputPlugin, OutputCaps, OutputPlugin};
+use crate::proxy::UniIntProxy;
+
+// ---------------------------------------------------------------------------
+// Step budget ("fuel") for supervised calls.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Remaining step budget of the supervised call running on this
+    /// thread; `None` outside supervised calls.
+    static FUEL: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Silences the panic hook while a supervised call is in flight.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Burns `units` from the supervised call's step budget.
+///
+/// Long-running plug-in work should call this periodically and abort
+/// when it returns `false`. Outside a supervised call there is no budget
+/// and the function returns `false` immediately — unsupervised code must
+/// not spin on it.
+pub fn consume_fuel(units: u64) -> bool {
+    FUEL.with(|f| match f.get() {
+        None => false,
+        Some(rem) if rem > 0 && rem >= units => {
+            f.set(Some(rem - units));
+            true
+        }
+        Some(_) => {
+            f.set(Some(0));
+            false
+        }
+    })
+}
+
+fn arm_fuel(budget: u64) {
+    FUEL.with(|f| f.set(Some(budget)));
+}
+
+/// Clears the budget; returns true when the call drained it completely.
+fn disarm_fuel() -> bool {
+    FUEL.with(|f| {
+        let exhausted = f.get() == Some(0);
+        f.set(None);
+        exhausted
+    })
+}
+
+/// Installs (once per process) a panic hook that stays silent while a
+/// supervised call is unwinding — contained plug-in panics are expected
+/// events, not diagnostics.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Health model.
+// ---------------------------------------------------------------------------
+
+/// Per-device health as tracked by the [`Supervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// Operating normally.
+    #[default]
+    Healthy,
+    /// Recent faults or a missed heartbeat; still selectable.
+    Degraded,
+    /// Excluded from selection until probation expires.
+    Quarantined,
+    /// Gone for good (too many quarantines or heartbeats stopped).
+    Dead,
+}
+
+impl HealthState {
+    /// The wire representation for health notifications.
+    pub fn wire(self) -> DeviceHealthState {
+        match self {
+            HealthState::Healthy => DeviceHealthState::Healthy,
+            HealthState::Degraded => DeviceHealthState::Degraded,
+            HealthState::Quarantined => DeviceHealthState::Quarantined,
+            HealthState::Dead => DeviceHealthState::Dead,
+        }
+    }
+}
+
+impl core::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Dead => "dead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a supervised call did, as recorded by the shims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallOutcome {
+    /// Completed and returned sane data.
+    Clean,
+    /// Unwound with a panic.
+    Panic,
+    /// Drained its whole step budget (stall / runaway loop).
+    Timeout,
+    /// Returned out-of-range events or an oversized frame.
+    Garbage,
+}
+
+/// Why a health transition happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionCause {
+    /// A plug-in call panicked.
+    Panic,
+    /// A plug-in call exhausted its step budget.
+    Timeout,
+    /// A plug-in call returned invalid data.
+    Garbage,
+    /// Heartbeats stopped arriving.
+    HeartbeatSilence,
+    /// Probation backoff expired; the device gets another chance.
+    Probation,
+    /// A streak of clean calls restored full health.
+    CleanStreak,
+}
+
+/// One health transition observed during a [`Supervisor::tick`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// The device whose health changed.
+    pub device: String,
+    /// State before the transition.
+    pub from: HealthState,
+    /// State after the transition.
+    pub to: HealthState,
+    /// What drove the transition.
+    pub cause: TransitionCause,
+}
+
+/// Thresholds and budgets of the supervision policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Step budget per supervised plug-in call.
+    pub call_fuel: u64,
+    /// Consecutive faults before `Healthy` drops to `Degraded`.
+    pub degrade_after: u32,
+    /// Consecutive faults before the device is quarantined.
+    pub quarantine_after: u32,
+    /// Quarantines before the device is declared `Dead`.
+    pub max_quarantines: u32,
+    /// First probation backoff, microseconds (doubles per quarantine).
+    pub probation_base_us: u64,
+    /// Probation backoff ceiling, microseconds.
+    pub probation_cap_us: u64,
+    /// Clean calls on probation before the device is `Healthy` again.
+    pub probation_successes: u32,
+    /// Heartbeat silence counting as one miss, microseconds.
+    pub heartbeat_timeout_us: u64,
+    /// Missed heartbeats before the device is declared `Dead`.
+    pub heartbeat_dead_misses: u32,
+    /// Attach the built-in [`FallbackTerminal`] when a failover leaves
+    /// the proxy with no output plug-in at all.
+    pub fallback_terminal: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            call_fuel: 1_000_000,
+            degrade_after: 1,
+            quarantine_after: 3,
+            max_quarantines: 3,
+            probation_base_us: 200_000,
+            probation_cap_us: 5_000_000,
+            probation_successes: 8,
+            heartbeat_timeout_us: 500_000,
+            heartbeat_dead_misses: 3,
+            fallback_terminal: true,
+        }
+    }
+}
+
+/// Counters accumulated by the supervisor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Plug-in calls that panicked (contained by the shim).
+    pub plugin_panics: u64,
+    /// Plug-in calls that exhausted their step budget.
+    pub plugin_timeouts: u64,
+    /// Plug-in calls that returned out-of-range events or frames.
+    pub garbage_events: u64,
+    /// Heartbeat misses observed.
+    pub heartbeat_misses: u64,
+    /// Devices placed in quarantine (counted per transition).
+    pub quarantines: u64,
+    /// Active input/output roles failed over to another device.
+    pub failovers: u64,
+    /// Quarantined devices readmitted on probation.
+    pub readmissions: u64,
+    /// Devices declared dead.
+    pub deaths: u64,
+    /// Times the built-in fallback terminal was attached.
+    pub fallback_activations: u64,
+}
+
+#[derive(Debug, Default)]
+struct DeviceRecord {
+    state: HealthState,
+    consecutive_faults: u32,
+    clean_streak: u32,
+    quarantine_count: u32,
+    probation_until_us: u64,
+    on_probation: bool,
+    last_heartbeat_us: Option<u64>,
+    hb_misses_seen: u32,
+}
+
+type SharedLedger = Arc<Mutex<Vec<(String, CallOutcome)>>>;
+
+fn record_outcome(ledger: &SharedLedger, id: &str, outcome: CallOutcome) {
+    if let Ok(mut l) = ledger.lock() {
+        l.push((id.to_owned(), outcome));
+    }
+}
+
+/// What one [`Supervisor::tick`] did.
+#[derive(Debug, Default)]
+pub struct SupervisorReport {
+    /// Health transitions applied this tick, in order.
+    pub events: Vec<HealthEvent>,
+    /// Protocol messages to send: health notifications plus any
+    /// renegotiation a failover produced.
+    pub messages: Vec<ClientMessage>,
+    /// New active input device id, when a failover switched it.
+    pub input_switched_to: Option<String>,
+    /// New active output device id, when a failover switched it.
+    pub output_switched_to: Option<String>,
+    /// The built-in fallback terminal was attached this tick.
+    pub fallback_attached: bool,
+}
+
+impl SupervisorReport {
+    /// Whether this tick changed anything observable.
+    pub fn changed(&self) -> bool {
+        !self.events.is_empty()
+            || self.input_switched_to.is_some()
+            || self.output_switched_to.is_some()
+            || self.fallback_attached
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fault-isolating shims.
+// ---------------------------------------------------------------------------
+
+/// Runs one plug-in call under panic containment and a step budget.
+/// `Err` means the call failed (already recorded); `Ok` still needs
+/// result validation by the caller.
+fn guarded_call<T>(
+    id: &str,
+    ledger: &SharedLedger,
+    fuel: u64,
+    call: impl FnOnce() -> T,
+) -> Result<T, ()> {
+    install_quiet_hook();
+    arm_fuel(fuel);
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(call));
+    QUIET_PANICS.with(|q| q.set(false));
+    let exhausted = disarm_fuel();
+    match result {
+        Err(_) => {
+            record_outcome(ledger, id, CallOutcome::Panic);
+            Err(())
+        }
+        Ok(_) if exhausted => {
+            // The call returned only because its budget ran dry; its
+            // result is not trustworthy.
+            record_outcome(ledger, id, CallOutcome::Timeout);
+            Err(())
+        }
+        Ok(v) => Ok(v),
+    }
+}
+
+#[derive(Debug)]
+struct IsolatedInput {
+    device: String,
+    kind: &'static str,
+    fuel: u64,
+    ledger: SharedLedger,
+    inner: Box<dyn InputPlugin>,
+}
+
+impl InputPlugin for IsolatedInput {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn translate(
+        &mut self,
+        ev: &crate::plugin::DeviceEvent,
+        ctx: &InputContext,
+    ) -> Vec<InputEvent> {
+        let inner = &mut self.inner;
+        let Ok(mut events) = guarded_call(&self.device, &self.ledger, self.fuel, || {
+            inner.translate(ev, ctx)
+        }) else {
+            return Vec::new();
+        };
+        // Validate: pointer events must land inside the server space the
+        // plug-in was handed. Out-of-range events are garbage — dropped,
+        // with the fault recorded; valid events still pass through.
+        let (max_x, max_y) = (ctx.server_size.w.max(1), ctx.server_size.h.max(1));
+        let before = events.len();
+        events.retain(|e| match e {
+            InputEvent::Pointer { x, y, .. } => (*x as u32) < max_x && (*y as u32) < max_y,
+            InputEvent::Key { .. } => true,
+        });
+        let outcome = if events.len() < before {
+            CallOutcome::Garbage
+        } else {
+            CallOutcome::Clean
+        };
+        record_outcome(&self.ledger, &self.device, outcome);
+        events
+    }
+}
+
+#[derive(Debug)]
+struct IsolatedOutput {
+    device: String,
+    kind: &'static str,
+    caps: OutputCaps,
+    fuel: u64,
+    ledger: SharedLedger,
+    inner: Box<dyn OutputPlugin>,
+    last_good: Option<DeviceFrame>,
+}
+
+impl IsolatedOutput {
+    /// A frame that is always safe to hand the device: the last good one,
+    /// or a black frame at device resolution.
+    fn safe_frame(&self) -> DeviceFrame {
+        if let Some(f) = &self.last_good {
+            return f.clone();
+        }
+        let size = Size::new(self.caps.size.w.max(1), self.caps.size.h.max(1));
+        let fb = Framebuffer::new(size.w, size.h, Color::BLACK);
+        let wire = self.caps.format.buffer_bytes(size.w, size.h);
+        DeviceFrame::new(fb, self.caps.format, wire)
+    }
+}
+
+impl OutputPlugin for IsolatedOutput {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn caps(&self) -> OutputCaps {
+        self.caps
+    }
+
+    fn adapt(&mut self, server_frame: &Framebuffer) -> DeviceFrame {
+        let inner = &mut self.inner;
+        let Ok(frame) = guarded_call(&self.device, &self.ledger, self.fuel, || {
+            inner.adapt(server_frame)
+        }) else {
+            return self.safe_frame();
+        };
+        // Validate: the frame must fit the declared device screen.
+        let s = frame.frame.size();
+        if s.is_empty() || s.w > self.caps.size.w || s.h > self.caps.size.h {
+            record_outcome(&self.ledger, &self.device, CallOutcome::Garbage);
+            return self.safe_frame();
+        }
+        record_outcome(&self.ledger, &self.device, CallOutcome::Clean);
+        self.last_good = Some(frame.clone());
+        frame
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The built-in fallback output device.
+// ---------------------------------------------------------------------------
+
+/// Columns of the built-in fallback terminal.
+pub const FALLBACK_COLS: u32 = 80;
+/// Rows of the built-in fallback terminal.
+pub const FALLBACK_ROWS: u32 = 24;
+
+/// The output device of last resort: an 80×24 grayscale text terminal
+/// the proxy itself provides, attached when a failover leaves no real
+/// output device. The paper's interaction must *continue*, however
+/// degraded, when every screen in the room has died.
+#[derive(Debug, Default)]
+pub struct FallbackTerminal;
+
+impl OutputPlugin for FallbackTerminal {
+    fn kind(&self) -> &'static str {
+        "fallback-terminal"
+    }
+
+    fn caps(&self) -> OutputCaps {
+        OutputCaps {
+            size: Size::new(FALLBACK_COLS, FALLBACK_ROWS),
+            format: PixelFormat::Gray8,
+            dither: DitherMode::None,
+            scale: ScaleFilter::Nearest,
+        }
+    }
+
+    fn adapt(&mut self, server_frame: &Framebuffer) -> DeviceFrame {
+        let caps = self.caps();
+        let scaled = scale_to_fit(server_frame, caps.size, caps.scale);
+        let frame = dither_to_format(&scaled, caps.format, caps.dither);
+        let wire = caps.format.buffer_bytes(frame.width(), frame.height());
+        DeviceFrame::new(frame, caps.format, wire)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The supervisor.
+// ---------------------------------------------------------------------------
+
+/// Tracks per-device health from shim fault records and heartbeats, and
+/// fails the session over when the active device goes bad. See the
+/// module docs for the state machine.
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    ledger: SharedLedger,
+    records: BTreeMap<String, DeviceRecord>,
+    stats: SupervisorStats,
+    /// Seeded jitter for probation backoff, so recovery timelines are
+    /// exactly reproducible (mirrors the session backoff RNG).
+    rng: StdRng,
+}
+
+impl core::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("devices", &self.records.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Supervisor {
+    /// Creates a supervisor with the default policy.
+    pub fn new(seed: u64) -> Supervisor {
+        Supervisor::with_config(seed, SupervisorConfig::default())
+    }
+
+    /// Creates a supervisor with an explicit policy.
+    pub fn with_config(seed: u64, cfg: SupervisorConfig) -> Supervisor {
+        install_quiet_hook();
+        Supervisor {
+            cfg,
+            ledger: Arc::new(Mutex::new(Vec::new())),
+            records: BTreeMap::new(),
+            stats: SupervisorStats::default(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5afe_0de7_ec70_ca11),
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> SupervisorConfig {
+        self.cfg
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// Current health of a device, when it is tracked.
+    pub fn health(&self, id: &str) -> Option<HealthState> {
+        self.records.get(id).map(|r| r.state)
+    }
+
+    /// Whether a device may be selected (unknown devices are usable).
+    pub fn is_usable(&self, id: &str) -> bool {
+        !matches!(
+            self.health(id),
+            Some(HealthState::Quarantined) | Some(HealthState::Dead)
+        )
+    }
+
+    /// Wraps a device registration so every plug-in it uploads runs
+    /// inside the fault-isolating shim, and starts tracking its health.
+    pub fn supervise(&mut self, device: InteractionDevice) -> InteractionDevice {
+        let id = device.descriptor().id.clone();
+        self.records.entry(id.clone()).or_default();
+        let fuel = self.cfg.call_fuel;
+        let (in_id, in_ledger) = (id.clone(), self.ledger.clone());
+        let device = device.map_input_factory(move |f| {
+            let (id, ledger) = (in_id.clone(), in_ledger.clone());
+            Box::new(move || isolate_input(&id, &ledger, fuel, f()))
+        });
+        let (out_id, out_ledger) = (id, self.ledger.clone());
+        device.map_output_factory(move |f| {
+            let (id, ledger) = (out_id.clone(), out_ledger.clone());
+            Box::new(move || isolate_output(&id, &ledger, fuel, f()))
+        })
+    }
+
+    /// Shims a bare input plug-in under `id` (for sessions that attach
+    /// plug-ins directly, without a coordinator).
+    pub fn wrap_input(&mut self, id: &str, plugin: Box<dyn InputPlugin>) -> Box<dyn InputPlugin> {
+        self.records.entry(id.to_owned()).or_default();
+        isolate_input(id, &self.ledger, self.cfg.call_fuel, plugin)
+    }
+
+    /// Shims a bare output plug-in under `id`.
+    pub fn wrap_output(
+        &mut self,
+        id: &str,
+        plugin: Box<dyn OutputPlugin>,
+    ) -> Box<dyn OutputPlugin> {
+        self.records.entry(id.to_owned()).or_default();
+        isolate_output(id, &self.ledger, self.cfg.call_fuel, plugin)
+    }
+
+    /// Records a liveness heartbeat from `id` at virtual time `now_us`.
+    /// The first heartbeat opts the device into silence tracking.
+    pub fn heartbeat(&mut self, id: &str, now_us: u64) {
+        let rec = self.records.entry(id.to_owned()).or_default();
+        if rec.state == HealthState::Dead {
+            return;
+        }
+        rec.last_heartbeat_us = Some(now_us);
+        rec.hb_misses_seen = 0;
+        // Silence was the only complaint: hearing from the device again
+        // restores it (fault-driven degradation heals via clean calls).
+        if rec.state == HealthState::Degraded && rec.consecutive_faults == 0 && !rec.on_probation {
+            rec.state = HealthState::Healthy;
+        }
+    }
+
+    /// Applies pending fault records and heartbeat deadlines, transitions
+    /// device health, updates the coordinator's availability view, and
+    /// fails over when the active device went bad. Call after every
+    /// interaction step (the tick is cheap when nothing happened).
+    pub fn tick(
+        &mut self,
+        now_us: u64,
+        coord: &mut Coordinator,
+        proxy: &mut UniIntProxy,
+    ) -> SupervisorReport {
+        let mut report = SupervisorReport::default();
+
+        // 1. Drain call outcomes recorded by the shims, in call order.
+        let outcomes: Vec<(String, CallOutcome)> = match self.ledger.lock() {
+            Ok(mut l) => l.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for (id, outcome) in outcomes {
+            self.apply_outcome(&id, outcome, now_us, &mut report.events);
+        }
+
+        // 2. Heartbeat deadlines (only devices that ever heartbeated).
+        for (id, rec) in self.records.iter_mut() {
+            let Some(last) = rec.last_heartbeat_us else {
+                continue;
+            };
+            if rec.state == HealthState::Dead || self.cfg.heartbeat_timeout_us == 0 {
+                continue;
+            }
+            let misses = (now_us.saturating_sub(last) / self.cfg.heartbeat_timeout_us) as u32;
+            if misses > rec.hb_misses_seen {
+                self.stats.heartbeat_misses += (misses - rec.hb_misses_seen) as u64;
+                rec.hb_misses_seen = misses;
+            }
+            if misses >= self.cfg.heartbeat_dead_misses {
+                let from = rec.state;
+                rec.state = HealthState::Dead;
+                self.stats.deaths += 1;
+                report.events.push(HealthEvent {
+                    device: id.clone(),
+                    from,
+                    to: HealthState::Dead,
+                    cause: TransitionCause::HeartbeatSilence,
+                });
+            } else if misses >= 1 && rec.state == HealthState::Healthy {
+                rec.state = HealthState::Degraded;
+                report.events.push(HealthEvent {
+                    device: id.clone(),
+                    from: HealthState::Healthy,
+                    to: HealthState::Degraded,
+                    cause: TransitionCause::HeartbeatSilence,
+                });
+            }
+        }
+
+        // 3. Probation: quarantine backoff expired → readmit degraded.
+        let mut readmitted = false;
+        for (id, rec) in self.records.iter_mut() {
+            if rec.state == HealthState::Quarantined && now_us >= rec.probation_until_us {
+                rec.state = HealthState::Degraded;
+                rec.on_probation = true;
+                rec.consecutive_faults = 0;
+                rec.clean_streak = 0;
+                self.stats.readmissions += 1;
+                readmitted = true;
+                report.events.push(HealthEvent {
+                    device: id.clone(),
+                    from: HealthState::Quarantined,
+                    to: HealthState::Degraded,
+                    cause: TransitionCause::Probation,
+                });
+            }
+        }
+
+        // 4. Push availability into the coordinator. Re-asserted fully on
+        // every tick so a re-registered device cannot sneak out of an
+        // unexpired quarantine.
+        for (id, rec) in &self.records {
+            let usable = !matches!(rec.state, HealthState::Quarantined | HealthState::Dead);
+            coord.set_available(id, usable);
+        }
+
+        // 5. Failover: the active device lost its role, or a readmission
+        // may have produced a better candidate.
+        let active_in = coord.active_input().map(str::to_owned);
+        let active_out = coord.active_output().map(str::to_owned);
+        let in_lost = active_in.as_deref().is_some_and(|id| !self.is_usable(id));
+        let out_lost = active_out.as_deref().is_some_and(|id| !self.is_usable(id));
+        let had_output = proxy.attached().1.is_some();
+        if in_lost || out_lost || readmitted {
+            let sw = coord.reselect(proxy);
+            if in_lost {
+                self.stats.failovers += 1;
+            }
+            if out_lost {
+                self.stats.failovers += 1;
+            }
+            report.input_switched_to = sw.input_switched_to;
+            report.output_switched_to = sw.output_switched_to;
+            report.messages.extend(sw.messages);
+        }
+
+        // 6. Last resort: the session had a screen and now has none.
+        if self.cfg.fallback_terminal && had_output && proxy.attached().1.is_none() {
+            self.stats.fallback_activations += 1;
+            report.fallback_attached = true;
+            report
+                .messages
+                .extend(proxy.attach_output(Box::new(FallbackTerminal)));
+        }
+
+        // 7. Health notifications, ahead of any renegotiation traffic.
+        let notices: Vec<ClientMessage> = report
+            .events
+            .iter()
+            .map(|e| ClientMessage::DeviceHealth {
+                device: e.device.clone(),
+                state: e.to.wire(),
+            })
+            .collect();
+        report.messages.splice(0..0, notices);
+        report
+    }
+
+    fn apply_outcome(
+        &mut self,
+        id: &str,
+        outcome: CallOutcome,
+        now_us: u64,
+        events: &mut Vec<HealthEvent>,
+    ) {
+        let cfg = self.cfg;
+        let Some(rec) = self.records.get_mut(id) else {
+            return;
+        };
+        if rec.state == HealthState::Dead {
+            return;
+        }
+        match outcome {
+            CallOutcome::Clean => {
+                rec.consecutive_faults = 0;
+                rec.clean_streak += 1;
+                if rec.state == HealthState::Degraded && rec.clean_streak >= cfg.probation_successes
+                {
+                    rec.state = HealthState::Healthy;
+                    rec.on_probation = false;
+                    // A full recovery wipes the quarantine history: the
+                    // device earned a fresh backoff schedule.
+                    rec.quarantine_count = 0;
+                    events.push(HealthEvent {
+                        device: id.to_owned(),
+                        from: HealthState::Degraded,
+                        to: HealthState::Healthy,
+                        cause: TransitionCause::CleanStreak,
+                    });
+                }
+            }
+            fault => {
+                let cause = match fault {
+                    CallOutcome::Panic => {
+                        self.stats.plugin_panics += 1;
+                        TransitionCause::Panic
+                    }
+                    CallOutcome::Timeout => {
+                        self.stats.plugin_timeouts += 1;
+                        TransitionCause::Timeout
+                    }
+                    _ => {
+                        self.stats.garbage_events += 1;
+                        TransitionCause::Garbage
+                    }
+                };
+                rec.clean_streak = 0;
+                rec.consecutive_faults += 1;
+                if rec.state == HealthState::Quarantined {
+                    return; // Stale record from before the exclusion took.
+                }
+                let relapse = rec.on_probation; // Any fault on probation re-quarantines.
+                if relapse || rec.consecutive_faults >= cfg.quarantine_after {
+                    let from = rec.state;
+                    rec.quarantine_count += 1;
+                    if rec.quarantine_count > cfg.max_quarantines {
+                        rec.state = HealthState::Dead;
+                        self.stats.deaths += 1;
+                        events.push(HealthEvent {
+                            device: id.to_owned(),
+                            from,
+                            to: HealthState::Dead,
+                            cause,
+                        });
+                    } else {
+                        rec.state = HealthState::Quarantined;
+                        rec.on_probation = false;
+                        rec.consecutive_faults = 0;
+                        self.stats.quarantines += 1;
+                        let shift = rec.quarantine_count.saturating_sub(1).min(20);
+                        let backoff = cfg
+                            .probation_base_us
+                            .saturating_mul(1u64 << shift)
+                            .min(cfg.probation_cap_us);
+                        let jitter = self.rng.gen_range(0..=backoff / 4);
+                        rec.probation_until_us = now_us + backoff + jitter;
+                        events.push(HealthEvent {
+                            device: id.to_owned(),
+                            from,
+                            to: HealthState::Quarantined,
+                            cause,
+                        });
+                    }
+                } else if rec.consecutive_faults >= cfg.degrade_after
+                    && rec.state == HealthState::Healthy
+                {
+                    rec.state = HealthState::Degraded;
+                    events.push(HealthEvent {
+                        device: id.to_owned(),
+                        from: HealthState::Healthy,
+                        to: HealthState::Degraded,
+                        cause,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn isolate_input(
+    id: &str,
+    ledger: &SharedLedger,
+    fuel: u64,
+    inner: Box<dyn InputPlugin>,
+) -> Box<dyn InputPlugin> {
+    install_quiet_hook();
+    // Even `kind()` runs hostile code: probe it once, contained.
+    QUIET_PANICS.with(|q| q.set(true));
+    let kind = panic::catch_unwind(AssertUnwindSafe(|| inner.kind())).unwrap_or("unknown-plugin");
+    QUIET_PANICS.with(|q| q.set(false));
+    Box::new(IsolatedInput {
+        device: id.to_owned(),
+        kind,
+        fuel,
+        ledger: ledger.clone(),
+        inner,
+    })
+}
+
+fn isolate_output(
+    id: &str,
+    ledger: &SharedLedger,
+    fuel: u64,
+    inner: Box<dyn OutputPlugin>,
+) -> Box<dyn OutputPlugin> {
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let kind = panic::catch_unwind(AssertUnwindSafe(|| inner.kind())).unwrap_or("unknown-plugin");
+    let caps = panic::catch_unwind(AssertUnwindSafe(|| inner.caps())).unwrap_or(OutputCaps {
+        size: Size::new(FALLBACK_COLS, FALLBACK_ROWS),
+        format: PixelFormat::Gray8,
+        dither: DitherMode::None,
+        scale: ScaleFilter::Nearest,
+    });
+    QUIET_PANICS.with(|q| q.set(false));
+    Box::new(IsolatedOutput {
+        device: id.to_owned(),
+        kind,
+        caps,
+        fuel,
+        ledger: ledger.clone(),
+        inner,
+        last_good: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{DeviceDescriptor, InputModality, Situation, UserProfile};
+    use crate::plugin::DeviceEvent;
+    use uniint_protocol::input::ButtonMask;
+    use uniint_raster::geom::Rect;
+
+    #[derive(Debug)]
+    struct PanicInput;
+    impl InputPlugin for PanicInput {
+        fn kind(&self) -> &'static str {
+            "panic-input"
+        }
+        fn translate(&mut self, _: &DeviceEvent, _: &InputContext) -> Vec<InputEvent> {
+            panic!("injected");
+        }
+    }
+
+    #[derive(Debug)]
+    struct StallInput;
+    impl InputPlugin for StallInput {
+        fn kind(&self) -> &'static str {
+            "stall-input"
+        }
+        fn translate(&mut self, _: &DeviceEvent, _: &InputContext) -> Vec<InputEvent> {
+            while consume_fuel(64) {}
+            Vec::new()
+        }
+    }
+
+    #[derive(Debug)]
+    struct GarbageInput;
+    impl InputPlugin for GarbageInput {
+        fn kind(&self) -> &'static str {
+            "garbage-input"
+        }
+        fn translate(&mut self, _: &DeviceEvent, _: &InputContext) -> Vec<InputEvent> {
+            vec![
+                InputEvent::Pointer {
+                    x: u16::MAX,
+                    y: u16::MAX,
+                    buttons: ButtonMask::NONE,
+                },
+                InputEvent::Key {
+                    down: true,
+                    sym: 'a'.into(),
+                },
+            ]
+        }
+    }
+
+    #[derive(Debug)]
+    struct GoodInput;
+    impl InputPlugin for GoodInput {
+        fn kind(&self) -> &'static str {
+            "good-input"
+        }
+        fn translate(&mut self, _: &DeviceEvent, _: &InputContext) -> Vec<InputEvent> {
+            InputEvent::key_tap('x'.into()).to_vec()
+        }
+    }
+
+    fn connected_proxy() -> UniIntProxy {
+        let mut p = UniIntProxy::new("p");
+        p.handle_server(&uniint_protocol::message::ServerMessage::Init {
+            version: 1,
+            width: 64,
+            height: 48,
+            format: PixelFormat::Rgb888,
+            name: "t".into(),
+        })
+        .unwrap();
+        p
+    }
+
+    fn coord() -> Coordinator {
+        Coordinator::new(UserProfile::neutral("u"), Situation::idle("kitchen"))
+    }
+
+    fn device(
+        id: &str,
+        plugin: impl Fn() -> Box<dyn InputPlugin> + Send + 'static,
+    ) -> InteractionDevice {
+        InteractionDevice::new(DeviceDescriptor::carried(id, id).with_input(InputModality::Keypad))
+            .with_input_factory(Box::new(plugin))
+    }
+
+    #[test]
+    fn panic_is_contained_and_counted() {
+        let mut sup = Supervisor::new(1);
+        let mut proxy = connected_proxy();
+        let mut c = coord();
+        proxy.attach_input(sup.wrap_input("bad", Box::new(PanicInput)));
+        let msgs = proxy.device_input(&DeviceEvent::KeypadSelect);
+        assert!(msgs.is_empty(), "panic yields no events");
+        sup.tick(0, &mut c, &mut proxy);
+        assert_eq!(sup.stats().plugin_panics, 1);
+        assert_eq!(sup.health("bad"), Some(HealthState::Degraded));
+    }
+
+    #[test]
+    fn stall_burns_budget_and_counts_timeout() {
+        let mut sup = Supervisor::new(2);
+        let mut proxy = connected_proxy();
+        let mut c = coord();
+        proxy.attach_input(sup.wrap_input("slow", Box::new(StallInput)));
+        assert!(proxy.device_input(&DeviceEvent::KeypadSelect).is_empty());
+        sup.tick(0, &mut c, &mut proxy);
+        assert_eq!(sup.stats().plugin_timeouts, 1);
+    }
+
+    #[test]
+    fn consume_fuel_without_budget_is_false() {
+        assert!(!consume_fuel(1), "no budget outside supervised calls");
+    }
+
+    #[test]
+    fn garbage_events_filtered_but_valid_pass() {
+        let mut sup = Supervisor::new(3);
+        let mut proxy = connected_proxy();
+        let mut c = coord();
+        proxy.attach_input(sup.wrap_input("junk", Box::new(GarbageInput)));
+        let msgs = proxy.device_input(&DeviceEvent::KeypadSelect);
+        assert_eq!(msgs.len(), 1, "in-range key event passes; pointer dropped");
+        sup.tick(0, &mut c, &mut proxy);
+        assert_eq!(sup.stats().garbage_events, 1);
+    }
+
+    #[test]
+    fn consecutive_faults_quarantine_then_probation_readmits() {
+        let mut sup = Supervisor::new(4);
+        let mut proxy = connected_proxy();
+        let mut c = coord();
+        c.register(
+            sup.supervise(device("flaky", || Box::new(PanicInput))),
+            &mut proxy,
+        );
+        assert_eq!(proxy.attached().0, Some("panic-input"));
+        for _ in 0..sup.config().quarantine_after {
+            proxy.device_input(&DeviceEvent::KeypadSelect);
+        }
+        let report = sup.tick(1_000, &mut c, &mut proxy);
+        assert_eq!(sup.health("flaky"), Some(HealthState::Quarantined));
+        assert_eq!(sup.stats().quarantines, 1);
+        assert_eq!(sup.stats().failovers, 1, "active input role was lost");
+        assert_eq!(proxy.attached().0, None, "no other device to select");
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.to == HealthState::Quarantined));
+        // Well past the probation backoff the device is readmitted and,
+        // being the only candidate, reselected.
+        let report = sup.tick(60_000_000, &mut c, &mut proxy);
+        assert_eq!(sup.stats().readmissions, 1);
+        assert_eq!(sup.health("flaky"), Some(HealthState::Degraded));
+        assert_eq!(report.input_switched_to.as_deref(), Some("flaky"));
+    }
+
+    #[test]
+    fn probation_relapse_requarantines_with_longer_backoff() {
+        let mut sup = Supervisor::new(5);
+        let mut proxy = connected_proxy();
+        let mut c = coord();
+        c.register(
+            sup.supervise(device("flaky", || Box::new(PanicInput))),
+            &mut proxy,
+        );
+        let mut now = 0u64;
+        let mut windows = Vec::new();
+        for _ in 0..2 {
+            for _ in 0..sup.config().quarantine_after {
+                proxy.device_input(&DeviceEvent::KeypadSelect);
+            }
+            sup.tick(now, &mut c, &mut proxy);
+            let until = sup.records["flaky"].probation_until_us;
+            windows.push(until - now);
+            now = until + 1;
+            sup.tick(now, &mut c, &mut proxy); // readmission
+        }
+        assert!(windows[1] > windows[0], "backoff escalates: {windows:?}");
+    }
+
+    #[test]
+    fn clean_streak_restores_health() {
+        let mut sup = Supervisor::new(6);
+        let mut proxy = connected_proxy();
+        let mut c = coord();
+        let flip = Arc::new(Mutex::new(0u32));
+        let flip2 = flip.clone();
+        // One panic, then clean forever.
+        #[derive(Debug)]
+        struct FlipInput(Arc<Mutex<u32>>);
+        impl InputPlugin for FlipInput {
+            fn kind(&self) -> &'static str {
+                "flip"
+            }
+            fn translate(&mut self, _: &DeviceEvent, _: &InputContext) -> Vec<InputEvent> {
+                let first = {
+                    // Drop the guard before panicking or the mutex poisons.
+                    let mut n = self.0.lock().unwrap();
+                    *n += 1;
+                    *n == 1
+                };
+                if first {
+                    panic!("first call only");
+                }
+                InputEvent::key_tap('x'.into()).to_vec()
+            }
+        }
+        proxy.attach_input(sup.wrap_input("flip", Box::new(FlipInput(flip2))));
+        proxy.device_input(&DeviceEvent::KeypadSelect);
+        sup.tick(0, &mut c, &mut proxy);
+        assert_eq!(sup.health("flip"), Some(HealthState::Degraded));
+        for _ in 0..sup.config().probation_successes {
+            proxy.device_input(&DeviceEvent::KeypadSelect);
+        }
+        sup.tick(1, &mut c, &mut proxy);
+        assert_eq!(sup.health("flip"), Some(HealthState::Healthy));
+        drop(flip);
+    }
+
+    #[test]
+    fn heartbeat_silence_degrades_then_kills() {
+        let mut sup = Supervisor::new(7);
+        let mut proxy = connected_proxy();
+        let mut c = coord();
+        c.register(
+            sup.supervise(device("hb", || Box::new(GoodInput))),
+            &mut proxy,
+        );
+        sup.heartbeat("hb", 0);
+        let to = sup.config().heartbeat_timeout_us;
+        sup.tick(to + 1, &mut c, &mut proxy);
+        assert_eq!(sup.health("hb"), Some(HealthState::Degraded));
+        // Heartbeat resumes: healthy again.
+        sup.heartbeat("hb", to + 2);
+        assert_eq!(sup.health("hb"), Some(HealthState::Healthy));
+        // Then silence long enough to die.
+        let deadline = to + 2 + to * sup.config().heartbeat_dead_misses as u64 + 1;
+        let report = sup.tick(deadline, &mut c, &mut proxy);
+        assert_eq!(sup.health("hb"), Some(HealthState::Dead));
+        assert_eq!(sup.stats().deaths, 1);
+        assert!(sup.stats().heartbeat_misses >= 1);
+        assert!(report
+            .messages
+            .iter()
+            .any(|m| matches!(m, ClientMessage::DeviceHealth { state, .. }
+                if *state == DeviceHealthState::Dead)));
+    }
+
+    #[test]
+    fn dead_devices_stay_dead() {
+        let mut sup = Supervisor::new(8);
+        let mut proxy = connected_proxy();
+        let mut c = coord();
+        c.register(
+            sup.supervise(device("d", || Box::new(GoodInput))),
+            &mut proxy,
+        );
+        sup.heartbeat("d", 0);
+        let to = sup.config().heartbeat_timeout_us;
+        sup.tick(to * 10, &mut c, &mut proxy);
+        assert_eq!(sup.health("d"), Some(HealthState::Dead));
+        sup.heartbeat("d", to * 10 + 1); // Ignored.
+        sup.tick(to * 20, &mut c, &mut proxy);
+        assert_eq!(sup.health("d"), Some(HealthState::Dead));
+        assert_eq!(sup.stats().deaths, 1, "death counted once");
+    }
+
+    #[test]
+    fn fallback_terminal_attaches_when_output_dies() {
+        #[derive(Debug)]
+        struct PanicScreen;
+        impl OutputPlugin for PanicScreen {
+            fn kind(&self) -> &'static str {
+                "panic-screen"
+            }
+            fn caps(&self) -> OutputCaps {
+                OutputCaps {
+                    size: Size::new(32, 32),
+                    format: PixelFormat::Rgb888,
+                    dither: DitherMode::None,
+                    scale: ScaleFilter::Nearest,
+                }
+            }
+            fn adapt(&mut self, _: &Framebuffer) -> DeviceFrame {
+                panic!("screen controller crashed");
+            }
+        }
+        let mut sup = Supervisor::new(9);
+        let mut proxy = connected_proxy();
+        let mut c = coord();
+        let dev =
+            InteractionDevice::new(DeviceDescriptor::carried("screen", "Screen").with_output(
+                crate::context::OutputProfile {
+                    size: Size::new(32, 32),
+                    depth_bits: 24,
+                    far_readable: false,
+                },
+            ))
+            .with_output_factory(Box::new(|| Box::new(PanicScreen)));
+        c.register(sup.supervise(dev), &mut proxy);
+        assert_eq!(proxy.attached().1, Some("panic-screen"));
+        // Three faulting adapts → quarantine; frames were safe blanks.
+        for _ in 0..sup.config().quarantine_after {
+            let f = proxy.adapt_current().expect("safe frame substituted");
+            assert_eq!(f.frame.size(), Size::new(32, 32));
+        }
+        let report = sup.tick(0, &mut c, &mut proxy);
+        assert!(report.fallback_attached);
+        assert_eq!(proxy.attached().1, Some("fallback-terminal"));
+        assert_eq!(sup.stats().fallback_activations, 1);
+        // The fallback produces a real frame.
+        let f = proxy.adapt_current().expect("fallback frame");
+        assert!(f.frame.width() <= FALLBACK_COLS && f.frame.height() <= FALLBACK_ROWS);
+        // Renegotiation happened exactly once (one non-incremental request).
+        let full_requests = report
+            .messages
+            .iter()
+            .filter(|m| {
+                matches!(
+                    m,
+                    ClientMessage::UpdateRequest {
+                        incremental: false,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(full_requests, 1);
+    }
+
+    #[test]
+    fn same_seed_same_stats() {
+        let run = |seed: u64| {
+            let mut sup = Supervisor::new(seed);
+            let mut proxy = connected_proxy();
+            let mut c = coord();
+            c.register(
+                sup.supervise(device("flaky", || Box::new(PanicInput))),
+                &mut proxy,
+            );
+            let mut now = 0;
+            for round in 0..30 {
+                proxy.device_input(&DeviceEvent::KeypadSelect);
+                now += 100_000 * (round % 3 + 1);
+                sup.tick(now, &mut c, &mut proxy);
+            }
+            sup.stats()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn oversized_frame_is_garbage_and_substituted() {
+        #[derive(Debug)]
+        struct HugeScreen;
+        impl OutputPlugin for HugeScreen {
+            fn kind(&self) -> &'static str {
+                "huge"
+            }
+            fn caps(&self) -> OutputCaps {
+                OutputCaps {
+                    size: Size::new(16, 16),
+                    format: PixelFormat::Rgb888,
+                    dither: DitherMode::None,
+                    scale: ScaleFilter::Nearest,
+                }
+            }
+            fn adapt(&mut self, _: &Framebuffer) -> DeviceFrame {
+                // Twice the declared size: must be rejected.
+                DeviceFrame::new(
+                    Framebuffer::new(32, 32, Color::WHITE),
+                    PixelFormat::Rgb888,
+                    0,
+                )
+            }
+        }
+        let mut sup = Supervisor::new(10);
+        let mut proxy = connected_proxy();
+        let mut c = coord();
+        proxy.attach_output(sup.wrap_output("huge", Box::new(HugeScreen)));
+        let f = proxy.adapt_current().expect("substitute");
+        assert_eq!(f.frame.size(), Size::new(16, 16), "safe frame at caps size");
+        sup.tick(0, &mut c, &mut proxy);
+        assert_eq!(sup.stats().garbage_events, 1);
+    }
+
+    #[test]
+    fn fallback_terminal_adapts_any_size() {
+        let mut t = FallbackTerminal;
+        for (w, h) in [(1, 1), (640, 480), (3, 200)] {
+            let fb = Framebuffer::new(w, h, Color::WHITE);
+            let f = t.adapt(&fb);
+            assert!(f.frame.width() <= FALLBACK_COLS);
+            assert!(f.frame.height() <= FALLBACK_ROWS);
+            assert_eq!(f.format, PixelFormat::Gray8);
+        }
+        let _ = Rect::EMPTY; // silence unused import on some cfgs
+    }
+}

@@ -17,12 +17,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod input;
 pub mod output;
 pub mod sim;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::chaos::{DeviceFaultSchedule, Fault, FaultyDevice, FaultyHandle};
     pub use crate::input::{
         GesturePlugin, KeyboardPlugin, KeypadPlugin, RemotePlugin, StylusPlugin, VoicePlugin,
     };

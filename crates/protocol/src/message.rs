@@ -23,6 +23,46 @@ pub const PROTOCOL_VERSION: u16 = 1;
 /// Maximum accepted message body (8 MiB), a guard against hostile frames.
 pub const MAX_BODY: usize = 8 * 1024 * 1024;
 
+/// Health of an interaction device as reported by the proxy's
+/// supervisor (see `core::supervisor`). The server does not act on
+/// these — they are telemetry so appliances can surface "your remote is
+/// misbehaving" to the user — but carrying them in-band keeps the
+/// session the single ordered channel between proxy and server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealthState {
+    /// Operating normally.
+    Healthy,
+    /// Faults or missed heartbeats observed recently.
+    Degraded,
+    /// Temporarily excluded from selection.
+    Quarantined,
+    /// Permanently removed.
+    Dead,
+}
+
+impl DeviceHealthState {
+    /// Stable wire id.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            DeviceHealthState::Healthy => 0,
+            DeviceHealthState::Degraded => 1,
+            DeviceHealthState::Quarantined => 2,
+            DeviceHealthState::Dead => 3,
+        }
+    }
+
+    /// Decodes a wire id.
+    pub fn from_wire_id(id: u8) -> Option<DeviceHealthState> {
+        match id {
+            0 => Some(DeviceHealthState::Healthy),
+            1 => Some(DeviceHealthState::Degraded),
+            2 => Some(DeviceHealthState::Quarantined),
+            3 => Some(DeviceHealthState::Dead),
+            _ => None,
+        }
+    }
+}
+
 /// One encoded rectangle inside a framebuffer update.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RectUpdate {
@@ -69,6 +109,14 @@ pub enum ClientMessage {
     Resume {
         /// Sequence of the last update applied client-side (0 = none).
         last_update_seq: u64,
+    },
+    /// Health transition of an interaction device, reported by the
+    /// proxy's device supervisor.
+    DeviceHealth {
+        /// The interaction device's id.
+        device: String,
+        /// Its new health state.
+        state: DeviceHealthState,
     },
 }
 
@@ -135,6 +183,7 @@ const CT_KEY: u8 = 4;
 const CT_POINTER: u8 = 5;
 const CT_CUT_TEXT: u8 = 6;
 const CT_RESUME: u8 = 7;
+const CT_DEVICE_HEALTH: u8 = 8;
 
 const ST_INIT: u8 = 0x80;
 const ST_UPDATE: u8 = 0x81;
@@ -203,6 +252,11 @@ impl ClientMessage {
                 body.put_u8(CT_RESUME);
                 body.put_u64(*last_update_seq);
             }
+            ClientMessage::DeviceHealth { device, state } => {
+                body.put_u8(CT_DEVICE_HEALTH);
+                body.put_u8(state.wire_id());
+                wire::put_string(&mut body, device);
+            }
         }
         out.put_u32(body.len() as u32);
         out.extend_from_slice(&body);
@@ -251,6 +305,13 @@ impl ClientMessage {
             CT_RESUME => Ok(ClientMessage::Resume {
                 last_update_seq: wire::get_u64(buf)?,
             }),
+            CT_DEVICE_HEALTH => {
+                let id = wire::get_u8(buf)?;
+                let state = DeviceHealthState::from_wire_id(id)
+                    .ok_or_else(|| ProtocolError::Malformed(format!("health state {id}")))?;
+                let device = wire::get_string(buf)?;
+                Ok(ClientMessage::DeviceHealth { device, state })
+            }
             other => Err(ProtocolError::UnknownMessage(other)),
         }
     }
@@ -492,6 +553,26 @@ mod tests {
         client_roundtrip(ClientMessage::Resume {
             last_update_seq: u64::MAX - 3,
         });
+        for state in [
+            DeviceHealthState::Healthy,
+            DeviceHealthState::Degraded,
+            DeviceHealthState::Quarantined,
+            DeviceHealthState::Dead,
+        ] {
+            client_roundtrip(ClientMessage::DeviceHealth {
+                device: "pda-1".into(),
+                state,
+            });
+        }
+    }
+
+    #[test]
+    fn bad_health_state_rejected() {
+        let mut body: &[u8] = &[CT_DEVICE_HEALTH, 9, 0, 0];
+        assert!(matches!(
+            ClientMessage::decode_body(&mut body),
+            Err(ProtocolError::Malformed(_))
+        ));
     }
 
     #[test]

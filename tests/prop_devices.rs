@@ -1,0 +1,157 @@
+//! Device plug-in property tests: every input plug-in is total over
+//! arbitrary device events (no panic, and every pointer it emits lands
+//! inside the server framebuffer), and every output plug-in adapts an
+//! arbitrary framebuffer into a non-empty frame that respects its own
+//! capabilities.
+
+use proptest::prelude::*;
+use uniint::core::plugin::{InputContext, InputPlugin, OutputPlugin};
+use uniint::prelude::*;
+use uniint::protocol::input::InputEvent;
+
+fn arb_device_event() -> impl Strategy<Value = DeviceEvent> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>()).prop_map(|(x, y)| DeviceEvent::StylusDown { x, y }),
+        (any::<u16>(), any::<u16>()).prop_map(|(x, y)| DeviceEvent::StylusMove { x, y }),
+        (any::<u16>(), any::<u16>()).prop_map(|(x, y)| DeviceEvent::StylusUp { x, y }),
+        any::<u8>().prop_map(DeviceEvent::KeypadDigit),
+        proptest::sample::select(vec![Nav::Up, Nav::Down, Nav::Left, Nav::Right])
+            .prop_map(DeviceEvent::KeypadNav),
+        Just(DeviceEvent::KeypadSelect),
+        Just(DeviceEvent::KeypadBack),
+        proptest::sample::select(vec![
+            "next",
+            "select",
+            "up",
+            "louder",
+            "five",
+            "p",
+            "",
+            "garbage words that no grammar knows",
+        ])
+        .prop_map(|s| DeviceEvent::Voice(s.to_string())),
+        proptest::sample::select(vec![
+            Gesture::Swipe(Nav::Up),
+            Gesture::Swipe(Nav::Right),
+            Gesture::Fist,
+            Gesture::Palm,
+            Gesture::Circle,
+        ])
+        .prop_map(DeviceEvent::Gesture),
+        proptest::sample::select(vec![
+            RemoteKey::Power,
+            RemoteKey::Ok,
+            RemoteKey::Menu,
+            RemoteKey::ChannelUp,
+            RemoteKey::ChannelDown,
+            RemoteKey::VolumeUp,
+            RemoteKey::VolumeDown,
+            RemoteKey::Mute,
+        ])
+        .prop_map(DeviceEvent::Remote),
+        (0u8..12).prop_map(|d| DeviceEvent::Remote(RemoteKey::Digit(d))),
+        any::<char>().prop_map(DeviceEvent::Char),
+    ]
+}
+
+/// Arbitrary-but-plausible geometry: any non-degenerate server size and
+/// device view, including views larger than the server.
+fn arb_ctx() -> impl Strategy<Value = InputContext> {
+    (1u32..500, 1u32..500, 1u32..500, 1u32..500).prop_map(|(sw, sh, dw, dh)| InputContext {
+        server_size: Size::new(sw, sh),
+        device_view: Size::new(dw, dh),
+    })
+}
+
+fn all_input_plugins() -> Vec<Box<dyn InputPlugin>> {
+    vec![
+        Box::new(StylusPlugin::new()),
+        Box::new(KeypadPlugin::new()),
+        Box::new(VoicePlugin::new()),
+        Box::new(GesturePlugin::new()),
+        Box::new(RemotePlugin::new()),
+        Box::new(KeyboardPlugin::new()),
+    ]
+}
+
+fn all_output_plugins() -> Vec<Box<dyn OutputPlugin>> {
+    vec![
+        Box::new(ScreenPlugin::pda()),
+        Box::new(ScreenPlugin::phone_lcd()),
+        Box::new(ScreenPlugin::tv()),
+        Box::new(ScreenPlugin::eyepiece()),
+        Box::new(TerminalPlugin::standard()),
+        Box::new(FallbackTerminal),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every input plug-in consumes every device event without panicking,
+    /// and every pointer event it produces is inside the server frame.
+    #[test]
+    fn input_plugins_are_total_and_in_bounds(
+        events in proptest::collection::vec(arb_device_event(), 1..40),
+        ctx in arb_ctx(),
+    ) {
+        for plugin in &mut all_input_plugins() {
+            for ev in &events {
+                for out in plugin.translate(ev, &ctx) {
+                    if let InputEvent::Pointer { x, y, .. } = out {
+                        prop_assert!(
+                            (x as u32) < ctx.server_size.w && (y as u32) < ctx.server_size.h,
+                            "{}: pointer ({x},{y}) outside {:?}",
+                            plugin.kind(),
+                            ctx.server_size,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every output plug-in adapts an arbitrary framebuffer into a
+    /// non-empty frame no larger than its own declared capabilities.
+    #[test]
+    fn output_plugins_adapt_any_frame_within_caps(
+        w in 1u32..260,
+        h in 1u32..260,
+        r in any::<u8>(),
+        g in any::<u8>(),
+        b in any::<u8>(),
+    ) {
+        let mut fb = Framebuffer::new(w, h, Color::rgb(r, g, b));
+        // A couple of contrasting pixels so dithering has edges to chew on.
+        fb.set_pixel(Point::new(0, 0), Color::rgb(255 - r, g, b));
+        fb.set_pixel(
+            Point::new(w as i32 - 1, h as i32 - 1),
+            Color::rgb(r, 255 - g, b),
+        );
+        for plugin in &mut all_output_plugins() {
+            let caps = plugin.caps();
+            // First adaptation: full frame.
+            let frame = plugin.adapt(&fb);
+            let size = frame.frame.size();
+            prop_assert!(size.w >= 1 && size.h >= 1, "{}: empty frame", plugin.kind());
+            prop_assert!(
+                size.w <= caps.size.w && size.h <= caps.size.h,
+                "{}: {size:?} exceeds caps {:?}",
+                plugin.kind(),
+                caps.size,
+            );
+            prop_assert_eq!(frame.format, caps.format);
+            prop_assert!(frame.wire_bytes > 0);
+            // Re-adapting the identical frame must stay in bounds too
+            // (exercises the delta path) and never grow the change set
+            // beyond the frame itself.
+            let again = plugin.adapt(&fb);
+            prop_assert_eq!(again.frame.size(), size);
+            prop_assert!(
+                again.changed.area() <= (size.w as u64) * (size.h as u64),
+                "{}: changed region larger than the frame",
+                plugin.kind(),
+            );
+        }
+    }
+}
