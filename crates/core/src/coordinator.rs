@@ -247,6 +247,7 @@ impl Coordinator {
             .select_input(&input_candidates, &self.situation, &self.profile)
             .map(|d| d.id.clone());
         if best_input != self.active_input {
+            let from = self.active_input.clone().unwrap_or_else(|| "-".into());
             match &best_input {
                 Some(id) => {
                     let dev = self
@@ -259,11 +260,23 @@ impl Coordinator {
                         .as_ref()
                         .expect("input candidates carry a factory");
                     proxy.attach_input(f());
+                    proxy
+                        .telemetry()
+                        .counter("coordinator.input_switches")
+                        .inc();
+                    proxy
+                        .telemetry()
+                        .journal()
+                        .record("coordinator.switch", format!("input: {from} -> {id}"));
                     report.input_switched_to = Some(id.clone());
                     self.active_input = best_input.clone();
                 }
                 None => {
                     proxy.detach_input();
+                    proxy
+                        .telemetry()
+                        .journal()
+                        .record("coordinator.switch", format!("input: {from} -> -"));
                     self.active_input = None;
                 }
             }
@@ -280,6 +293,7 @@ impl Coordinator {
             .select_output(&output_candidates, &self.situation, &self.profile)
             .map(|d| d.id.clone());
         if best_output != self.active_output {
+            let from = self.active_output.clone().unwrap_or_else(|| "-".into());
             match &best_output {
                 Some(id) => {
                     let dev = self
@@ -292,11 +306,23 @@ impl Coordinator {
                         .as_ref()
                         .expect("output candidates carry a factory");
                     report.messages = proxy.attach_output(f());
+                    proxy
+                        .telemetry()
+                        .counter("coordinator.output_switches")
+                        .inc();
+                    proxy
+                        .telemetry()
+                        .journal()
+                        .record("coordinator.switch", format!("output: {from} -> {id}"));
                     report.output_switched_to = Some(id.clone());
                     self.active_output = best_output.clone();
                 }
                 None => {
                     proxy.detach_output();
+                    proxy
+                        .telemetry()
+                        .journal()
+                        .record("coordinator.switch", format!("output: {from} -> -"));
                     self.active_output = None;
                 }
             }

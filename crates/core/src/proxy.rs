@@ -19,6 +19,8 @@ use uniint_raster::framebuffer::Framebuffer;
 use uniint_raster::geom::{Rect, Size};
 use uniint_raster::pixel::PixelFormat;
 use uniint_raster::scale::scale_to_fit;
+use uniint_telemetry::histogram::Histogram;
+use uniint_telemetry::registry::{Counter, Registry};
 
 /// Messages and frames produced by one proxy step.
 #[derive(Debug, Default)]
@@ -32,6 +34,12 @@ pub struct ProxyOutput {
 }
 
 /// Counters the benchmarks read from a proxy.
+///
+/// Since the telemetry migration this is a **snapshot view**: the live
+/// values are counters in the proxy's [`Registry`], and
+/// [`UniIntProxy::stats`] reconstructs this struct from them. The
+/// `Copy + Eq` by-value API is unchanged, so existing tests and
+/// benches compile as before.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProxyStats {
     /// Server update messages applied.
@@ -66,6 +74,54 @@ pub struct ProxyStats {
 /// misbehaving plug-in cannot grow the outgoing queue without bound.
 pub const MAX_EVENTS_PER_DEVICE_EVENT: usize = 64;
 
+/// Pre-registered metric handles for one proxy. Handles are created
+/// once at construction; every update on the message/input hot paths is
+/// a lock-free atomic operation.
+#[derive(Debug)]
+struct ProxyMetrics {
+    registry: Registry,
+    updates_applied: Counter,
+    rects_decoded: Counter,
+    frames_adapted: Counter,
+    events_translated: Counter,
+    events_dropped: Counter,
+    retransmits: Counter,
+    stalls: Counter,
+    backoff_attempts: Counter,
+    resumes: Counter,
+    full_resyncs: Counter,
+    events_coalesced: Counter,
+    flood_dropped: Counter,
+    rect_payload_bytes: Histogram,
+    rects_per_update: Histogram,
+    frame_wire_bytes: Histogram,
+    events_per_device_event: Histogram,
+}
+
+impl ProxyMetrics {
+    fn new(registry: Registry) -> ProxyMetrics {
+        ProxyMetrics {
+            updates_applied: registry.counter("proxy.updates_applied"),
+            rects_decoded: registry.counter("proxy.rects_decoded"),
+            frames_adapted: registry.counter("proxy.frames_adapted"),
+            events_translated: registry.counter("proxy.events_translated"),
+            events_dropped: registry.counter("proxy.events_dropped"),
+            retransmits: registry.counter("proxy.retransmits"),
+            stalls: registry.counter("proxy.stalls"),
+            backoff_attempts: registry.counter("proxy.backoff_attempts"),
+            resumes: registry.counter("proxy.resumes"),
+            full_resyncs: registry.counter("proxy.full_resyncs"),
+            events_coalesced: registry.counter("proxy.events_coalesced"),
+            flood_dropped: registry.counter("proxy.flood_dropped"),
+            rect_payload_bytes: registry.histogram("proxy.rect_payload_bytes"),
+            rects_per_update: registry.histogram("proxy.rects_per_update"),
+            frame_wire_bytes: registry.histogram("proxy.frame_wire_bytes"),
+            events_per_device_event: registry.histogram("proxy.events_per_device_event"),
+            registry,
+        }
+    }
+}
+
 /// The universal interaction proxy.
 ///
 /// ```
@@ -82,14 +138,21 @@ pub struct UniIntProxy {
     input_plugin: Option<Box<dyn InputPlugin>>,
     output_plugin: Option<Box<dyn OutputPlugin>>,
     connected: bool,
-    stats: ProxyStats,
+    metrics: ProxyMetrics,
     /// Sequence of the last applied update; echoed in `Resume`.
     last_update_seq: u64,
 }
 
 impl UniIntProxy {
-    /// Creates a disconnected proxy.
+    /// Creates a disconnected proxy with its own private registry.
     pub fn new(name: impl Into<String>) -> UniIntProxy {
+        UniIntProxy::with_telemetry(name, Registry::new())
+    }
+
+    /// Creates a disconnected proxy recording into `registry` — a
+    /// session shares one registry between the proxy, the server and
+    /// the simulator so the export is a single coherent document.
+    pub fn with_telemetry(name: impl Into<String>, registry: Registry) -> UniIntProxy {
         UniIntProxy {
             name: name.into(),
             fb: None,
@@ -97,9 +160,14 @@ impl UniIntProxy {
             input_plugin: None,
             output_plugin: None,
             connected: false,
-            stats: ProxyStats::default(),
+            metrics: ProxyMetrics::new(registry),
             last_update_seq: 0,
         }
+    }
+
+    /// The registry this proxy records into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.metrics.registry
     }
 
     /// Proxy name (sent in the protocol hello).
@@ -112,9 +180,24 @@ impl UniIntProxy {
         self.connected
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics, reconstructed from the registry counters
+    /// (same `Copy` struct the benchmarks have always read).
     pub fn stats(&self) -> ProxyStats {
-        self.stats
+        let m = &self.metrics;
+        ProxyStats {
+            updates_applied: m.updates_applied.get(),
+            rects_decoded: m.rects_decoded.get(),
+            frames_adapted: m.frames_adapted.get(),
+            events_translated: m.events_translated.get(),
+            events_dropped: m.events_dropped.get(),
+            retransmits: m.retransmits.get(),
+            stalls: m.stalls.get(),
+            backoff_attempts: m.backoff_attempts.get(),
+            resumes: m.resumes.get(),
+            full_resyncs: m.full_resyncs.get(),
+            events_coalesced: m.events_coalesced.get(),
+            flood_dropped: m.flood_dropped.get(),
+        }
     }
 
     /// The pixel format updates are currently transported in (the active
@@ -165,17 +248,21 @@ impl UniIntProxy {
 
     /// Records a detected stall (connection found dead mid-session).
     pub fn record_stall(&mut self) {
-        self.stats.stalls += 1;
+        self.metrics.stalls.inc();
+        self.metrics
+            .registry
+            .journal()
+            .record("proxy.stall", self.name.clone());
     }
 
     /// Records one reconnect attempt made under backoff.
     pub fn record_backoff_attempt(&mut self) {
-        self.stats.backoff_attempts += 1;
+        self.metrics.backoff_attempts.inc();
     }
 
     /// Records `n` client messages retransmitted after reattach.
     pub fn record_retransmits(&mut self, n: u64) {
-        self.stats.retransmits += n;
+        self.metrics.retransmits.add(n);
     }
 
     /// Installs (or replaces) the input plug-in. Takes effect immediately
@@ -256,9 +343,13 @@ impl UniIntProxy {
                             ru.rect.origin(),
                         ),
                     }
-                    self.stats.rects_decoded += 1;
+                    self.metrics.rects_decoded.inc();
+                    self.metrics
+                        .rect_payload_bytes
+                        .record(ru.payload.len() as u64);
                 }
-                self.stats.updates_applied += 1;
+                self.metrics.updates_applied.inc();
+                self.metrics.rects_per_update.record(rects.len() as u64);
                 out.frame = self.adapt_current();
                 // Continuous update loop, as thin-client viewers do.
                 out.messages.push(ClientMessage::UpdateRequest {
@@ -282,9 +373,17 @@ impl UniIntProxy {
             ServerMessage::CutText(_) => {}
             ServerMessage::ResumeAck { replayed, .. } => {
                 if *replayed {
-                    self.stats.resumes += 1;
+                    self.metrics.resumes.inc();
+                    self.metrics
+                        .registry
+                        .journal()
+                        .record("proxy.resume", "incremental replay");
                 } else {
-                    self.stats.full_resyncs += 1;
+                    self.metrics.full_resyncs.inc();
+                    self.metrics
+                        .registry
+                        .journal()
+                        .record("proxy.resume", "full resync (log gap)");
                 }
                 // The server re-damaged whatever the break lost; an
                 // incremental request fetches exactly that.
@@ -302,8 +401,12 @@ impl UniIntProxy {
     pub fn adapt_current(&mut self) -> Option<DeviceFrame> {
         let fb = self.fb.as_ref()?;
         let plugin = self.output_plugin.as_mut()?;
-        self.stats.frames_adapted += 1;
-        Some(plugin.adapt(fb))
+        self.metrics.frames_adapted.inc();
+        let frame = plugin.adapt(fb);
+        self.metrics
+            .frame_wire_bytes
+            .record(frame.wire_bytes as u64);
+        Some(frame)
     }
 
     /// Recovery after a decode error: discards the (possibly corrupt)
@@ -315,7 +418,11 @@ impl UniIntProxy {
         if !self.connected {
             return Vec::new();
         }
-        self.stats.full_resyncs += 1;
+        self.metrics.full_resyncs.inc();
+        self.metrics
+            .registry
+            .journal()
+            .record("proxy.recover", "decode error: discarding cache");
         if let Some(fb) = &mut self.fb {
             // Blank the cache so stale pixels cannot survive a corrupt
             // update that was partially applied.
@@ -335,7 +442,7 @@ impl UniIntProxy {
     /// protocol messages for the server.
     pub fn device_input(&mut self, ev: &DeviceEvent) -> Vec<ClientMessage> {
         let Some(plugin) = self.input_plugin.as_mut() else {
-            self.stats.events_dropped += 1;
+            self.metrics.events_dropped.inc();
             return Vec::new();
         };
         let server_size = self
@@ -371,21 +478,24 @@ impl UniIntProxy {
                 );
                 if mergeable {
                     *queue.last_mut().expect("just matched") = e;
-                    self.stats.events_coalesced += 1;
+                    self.metrics.events_coalesced.inc();
                     continue;
                 }
             }
             if queue.len() >= MAX_EVENTS_PER_DEVICE_EVENT {
-                self.stats.flood_dropped += 1;
+                self.metrics.flood_dropped.inc();
                 continue;
             }
             queue.push(e);
         }
 
+        self.metrics
+            .events_per_device_event
+            .record(queue.len() as u64);
         if queue.is_empty() {
-            self.stats.events_dropped += 1;
+            self.metrics.events_dropped.inc();
         } else {
-            self.stats.events_translated += queue.len() as u64;
+            self.metrics.events_translated.add(queue.len() as u64);
         }
         queue.into_iter().map(ClientMessage::Input).collect()
     }

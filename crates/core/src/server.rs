@@ -12,6 +12,8 @@ use uniint_protocol::message::{ClientMessage, RectUpdate, ServerMessage, PROTOCO
 use uniint_raster::geom::Rect;
 use uniint_raster::pixel::PixelFormat;
 use uniint_raster::region::Region;
+use uniint_telemetry::histogram::Histogram;
+use uniint_telemetry::registry::{Counter, Registry};
 use uniint_wsys::ui::Ui;
 
 /// How many sent updates the server retains for incremental resume. A
@@ -38,6 +40,9 @@ struct ClientState {
 }
 
 /// Statistics the benchmarks read from a server.
+///
+/// A snapshot view reconstructed from registry counters by
+/// [`UniIntServer::stats`]; the `Copy` by-value API is unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Update messages sent.
@@ -52,6 +57,33 @@ pub struct ServerStats {
     pub health_reports: u64,
 }
 
+/// Pre-registered metric handles for one server; updates on the
+/// damage/encode hot path are lock-free atomics.
+#[derive(Debug)]
+struct ServerMetrics {
+    registry: Registry,
+    updates_sent: Counter,
+    rects_sent: Counter,
+    payload_bytes: Counter,
+    inputs_injected: Counter,
+    health_reports: Counter,
+    update_payload_bytes: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(registry: Registry) -> ServerMetrics {
+        ServerMetrics {
+            updates_sent: registry.counter("server.updates_sent"),
+            rects_sent: registry.counter("server.rects_sent"),
+            payload_bytes: registry.counter("server.payload_bytes"),
+            inputs_injected: registry.counter("server.inputs_injected"),
+            health_reports: registry.counter("server.health_reports"),
+            update_payload_bytes: registry.histogram("server.update_payload_bytes"),
+            registry,
+        }
+    }
+}
+
 /// The UniInt server endpoint for one window.
 ///
 /// The server does not own the [`Ui`] — the appliance application does —
@@ -60,17 +92,28 @@ pub struct ServerStats {
 pub struct UniIntServer {
     client: Option<ClientState>,
     size: (u16, u16),
-    stats: ServerStats,
+    metrics: ServerMetrics,
 }
 
 impl UniIntServer {
-    /// Creates a server for a window of the given size.
+    /// Creates a server for a window of the given size, with its own
+    /// private registry.
     pub fn new(ui: &Ui) -> UniIntServer {
+        UniIntServer::with_telemetry(ui, Registry::new())
+    }
+
+    /// Creates a server recording into a shared session `registry`.
+    pub fn with_telemetry(ui: &Ui, registry: Registry) -> UniIntServer {
         UniIntServer {
             client: None,
             size: (ui.size().w as u16, ui.size().h as u16),
-            stats: ServerStats::default(),
+            metrics: ServerMetrics::new(registry),
         }
+    }
+
+    /// The registry this server records into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.metrics.registry
     }
 
     /// Whether a client session is established.
@@ -78,9 +121,16 @@ impl UniIntServer {
         self.client.is_some()
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics, reconstructed from the registry counters.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        let m = &self.metrics;
+        ServerStats {
+            updates_sent: m.updates_sent.get(),
+            rects_sent: m.rects_sent.get(),
+            payload_bytes: m.payload_bytes.get(),
+            inputs_injected: m.inputs_injected.get(),
+            health_reports: m.health_reports.get(),
+        }
     }
 
     /// Handles one client message, possibly producing replies.
@@ -144,7 +194,7 @@ impl UniIntServer {
                 self.pump(ui)
             }
             ClientMessage::Input(ev) => {
-                self.stats.inputs_injected += 1;
+                self.metrics.inputs_injected.inc();
                 ui.dispatch(ev);
                 // Input often causes repaints; let the caller pump.
                 Vec::new()
@@ -153,7 +203,7 @@ impl UniIntServer {
             ClientMessage::DeviceHealth { .. } => {
                 // Telemetry only: the appliance side may surface it to the
                 // user, but the session state does not depend on it.
-                self.stats.health_reports += 1;
+                self.metrics.health_reports.inc();
                 Vec::new()
             }
             ClientMessage::Resume { last_update_seq } => {
@@ -254,6 +304,7 @@ impl UniIntServer {
         c.pending = None;
         let fb = ui.framebuffer();
         let mut rects = Vec::with_capacity(to_send.rect_count());
+        let mut update_bytes = 0u64;
         for &r in to_send.rects() {
             let (clipped, pixels) = fb.read_rect(r);
             if clipped.is_empty() {
@@ -261,8 +312,9 @@ impl UniIntServer {
             }
             let encoding = choose_encoding(&pixels, clipped, &c.encodings);
             let payload = encode_rect(&pixels, clipped, encoding, c.format);
-            self.stats.rects_sent += 1;
-            self.stats.payload_bytes += payload.len() as u64;
+            self.metrics.rects_sent.inc();
+            self.metrics.payload_bytes.add(payload.len() as u64);
+            update_bytes += payload.len() as u64;
             rects.push(RectUpdate {
                 rect: clipped,
                 encoding,
@@ -270,7 +322,8 @@ impl UniIntServer {
             });
         }
         if !rects.is_empty() {
-            self.stats.updates_sent += 1;
+            self.metrics.updates_sent.inc();
+            self.metrics.update_payload_bytes.record(update_bytes);
             let seq = c.next_update_seq;
             c.next_update_seq += 1;
             c.sent_log.push_back((seq, to_send));

@@ -13,6 +13,7 @@ use uniint_protocol::error::ProtocolError;
 use uniint_protocol::message::{
     encode_client, encode_server, ClientMessage, FrameReader, ServerMessage,
 };
+use uniint_telemetry::registry::Registry;
 use uniint_wsys::ui::Ui;
 
 /// Why a [`SimSession`] operation failed.
@@ -74,17 +75,23 @@ pub struct LocalSession {
 
 impl LocalSession {
     /// Connects a new session against `ui` (handshake completes before
-    /// returning).
+    /// returning). Server and proxy share one telemetry [`Registry`].
     pub fn connect(ui: &mut Ui) -> LocalSession {
+        let registry = Registry::new();
         let mut s = LocalSession {
-            server: UniIntServer::new(ui),
-            proxy: UniIntProxy::new("local-proxy"),
+            server: UniIntServer::with_telemetry(ui, registry.clone()),
+            proxy: UniIntProxy::with_telemetry("local-proxy", registry),
             last_frame: None,
             bells: 0,
         };
         let hello = s.proxy.connect();
         s.deliver_to_server(ui, hello);
         s
+    }
+
+    /// The telemetry registry shared by this session's server and proxy.
+    pub fn telemetry(&self) -> &Registry {
+        self.proxy.telemetry()
     }
 
     /// The most recent frame adapted for the output device.
@@ -183,7 +190,7 @@ const MAX_FAILED_RESUMES: u32 = 3;
 /// asks the server to replay only the updates it missed
 /// ([`ClientMessage::Resume`]) and retransmits its own lost client
 /// messages from a session-side log once the server reports how many it
-/// received ([`ServerMessage::ResumeAck`]). After [`MAX_FAILED_RESUMES`]
+/// received ([`ServerMessage::ResumeAck`]). After `MAX_FAILED_RESUMES`
 /// resume attempts are themselves lost, the session falls back to a full
 /// framebuffer refresh. All recovery activity is visible in
 /// [`crate::proxy::ProxyStats`].
@@ -223,11 +230,13 @@ impl SimSession {
     /// Creates a session over `link`, completing the handshake (the
     /// virtual clock advances accordingly).
     pub fn connect(ui: &mut Ui, link: LinkProfile, seed: u64) -> Result<SimSession, SessionError> {
+        let registry = Registry::new();
         let mut sim = Simulator::new(seed);
+        sim.attach_telemetry(&registry);
         let (proxy_ep, server_ep) = sim.link(link);
         let mut s = SimSession {
-            server: UniIntServer::new(ui),
-            proxy: UniIntProxy::new("sim-proxy"),
+            server: UniIntServer::with_telemetry(ui, registry.clone()),
+            proxy: UniIntProxy::with_telemetry("sim-proxy", registry),
             sim,
             server_ep,
             proxy_ep,
@@ -251,6 +260,13 @@ impl SimSession {
     /// Virtual time, microseconds.
     pub fn now_us(&self) -> u64 {
         self.sim.now_us()
+    }
+
+    /// The telemetry registry shared by proxy, server and simulator.
+    /// All readings are clocked from the simulator's virtual time, so
+    /// two runs with the same seed produce byte-identical snapshots.
+    pub fn telemetry(&self) -> &Registry {
+        self.proxy.telemetry()
     }
 
     /// The proxy's network endpoint (e.g. for scheduling link faults).
@@ -366,6 +382,9 @@ impl SimSession {
     /// Brings a torn-down link back up (exponential backoff + jitter)
     /// and restarts the protocol conversation on top of it.
     fn recover_connection(&mut self) -> Result<(), SessionError> {
+        // Records elapsed virtual time into `session.recovery_us` when
+        // it drops, whichever way the recovery ends.
+        let _span = self.proxy.telemetry().span("session.recovery");
         self.proxy.record_stall();
         let mut delay = BACKOFF_BASE_US;
         let mut attempts = 0u32;

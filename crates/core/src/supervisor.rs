@@ -67,6 +67,7 @@ use uniint_raster::framebuffer::Framebuffer;
 use uniint_raster::geom::Size;
 use uniint_raster::pixel::PixelFormat;
 use uniint_raster::scale::{scale_to_fit, ScaleFilter};
+use uniint_telemetry::registry::{Counter, Gauge, Registry};
 
 use crate::coordinator::Coordinator;
 use crate::coordinator::InteractionDevice;
@@ -205,6 +206,20 @@ pub enum TransitionCause {
     CleanStreak,
 }
 
+impl core::fmt::Display for TransitionCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            TransitionCause::Panic => "panic",
+            TransitionCause::Timeout => "timeout",
+            TransitionCause::Garbage => "garbage",
+            TransitionCause::HeartbeatSilence => "heartbeat silence",
+            TransitionCause::Probation => "probation",
+            TransitionCause::CleanStreak => "clean streak",
+        };
+        f.write_str(s)
+    }
+}
+
 /// One health transition observed during a [`Supervisor::tick`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HealthEvent {
@@ -262,6 +277,9 @@ impl Default for SupervisorConfig {
 }
 
 /// Counters accumulated by the supervisor.
+///
+/// A snapshot view reconstructed from registry counters by
+/// [`Supervisor::stats`]; the `Copy` by-value API is unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SupervisorStats {
     /// Plug-in calls that panicked (contained by the shim).
@@ -282,6 +300,42 @@ pub struct SupervisorStats {
     pub deaths: u64,
     /// Times the built-in fallback terminal was attached.
     pub fallback_activations: u64,
+}
+
+/// Pre-registered metric handles for one supervisor.
+#[derive(Debug)]
+struct SupervisorMetrics {
+    registry: Registry,
+    plugin_panics: Counter,
+    plugin_timeouts: Counter,
+    garbage_events: Counter,
+    heartbeat_misses: Counter,
+    quarantines: Counter,
+    failovers: Counter,
+    readmissions: Counter,
+    deaths: Counter,
+    fallback_activations: Counter,
+    quarantined_now: Gauge,
+    dead_now: Gauge,
+}
+
+impl SupervisorMetrics {
+    fn new(registry: Registry) -> SupervisorMetrics {
+        SupervisorMetrics {
+            plugin_panics: registry.counter("supervisor.plugin_panics"),
+            plugin_timeouts: registry.counter("supervisor.plugin_timeouts"),
+            garbage_events: registry.counter("supervisor.garbage_events"),
+            heartbeat_misses: registry.counter("supervisor.heartbeat_misses"),
+            quarantines: registry.counter("supervisor.quarantines"),
+            failovers: registry.counter("supervisor.failovers"),
+            readmissions: registry.counter("supervisor.readmissions"),
+            deaths: registry.counter("supervisor.deaths"),
+            fallback_activations: registry.counter("supervisor.fallback_activations"),
+            quarantined_now: registry.gauge("supervisor.devices_quarantined"),
+            dead_now: registry.gauge("supervisor.devices_dead"),
+            registry,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -511,7 +565,7 @@ pub struct Supervisor {
     cfg: SupervisorConfig,
     ledger: SharedLedger,
     records: BTreeMap<String, DeviceRecord>,
-    stats: SupervisorStats,
+    metrics: SupervisorMetrics,
     /// Seeded jitter for probation backoff, so recovery timelines are
     /// exactly reproducible (mirrors the session backoff RNG).
     rng: StdRng,
@@ -521,27 +575,38 @@ impl core::fmt::Debug for Supervisor {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Supervisor")
             .field("devices", &self.records.len())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl Supervisor {
-    /// Creates a supervisor with the default policy.
+    /// Creates a supervisor with the default policy and a private
+    /// registry.
     pub fn new(seed: u64) -> Supervisor {
         Supervisor::with_config(seed, SupervisorConfig::default())
     }
 
     /// Creates a supervisor with an explicit policy.
     pub fn with_config(seed: u64, cfg: SupervisorConfig) -> Supervisor {
+        Supervisor::with_telemetry(seed, cfg, Registry::new())
+    }
+
+    /// Creates a supervisor recording into a shared session `registry`.
+    pub fn with_telemetry(seed: u64, cfg: SupervisorConfig, registry: Registry) -> Supervisor {
         install_quiet_hook();
         Supervisor {
             cfg,
             ledger: Arc::new(Mutex::new(Vec::new())),
             records: BTreeMap::new(),
-            stats: SupervisorStats::default(),
+            metrics: SupervisorMetrics::new(registry),
             rng: StdRng::seed_from_u64(seed ^ 0x5afe_0de7_ec70_ca11),
         }
+    }
+
+    /// The registry this supervisor records into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.metrics.registry
     }
 
     /// The active policy.
@@ -549,9 +614,20 @@ impl Supervisor {
         self.cfg
     }
 
-    /// Accumulated counters.
+    /// Accumulated counters, reconstructed from the registry.
     pub fn stats(&self) -> SupervisorStats {
-        self.stats
+        let m = &self.metrics;
+        SupervisorStats {
+            plugin_panics: m.plugin_panics.get(),
+            plugin_timeouts: m.plugin_timeouts.get(),
+            garbage_events: m.garbage_events.get(),
+            heartbeat_misses: m.heartbeat_misses.get(),
+            quarantines: m.quarantines.get(),
+            failovers: m.failovers.get(),
+            readmissions: m.readmissions.get(),
+            deaths: m.deaths.get(),
+            fallback_activations: m.fallback_activations.get(),
+        }
     }
 
     /// Current health of a device, when it is tracked.
@@ -649,13 +725,15 @@ impl Supervisor {
             }
             let misses = (now_us.saturating_sub(last) / self.cfg.heartbeat_timeout_us) as u32;
             if misses > rec.hb_misses_seen {
-                self.stats.heartbeat_misses += (misses - rec.hb_misses_seen) as u64;
+                self.metrics
+                    .heartbeat_misses
+                    .add((misses - rec.hb_misses_seen) as u64);
                 rec.hb_misses_seen = misses;
             }
             if misses >= self.cfg.heartbeat_dead_misses {
                 let from = rec.state;
                 rec.state = HealthState::Dead;
-                self.stats.deaths += 1;
+                self.metrics.deaths.inc();
                 report.events.push(HealthEvent {
                     device: id.clone(),
                     from,
@@ -681,7 +759,7 @@ impl Supervisor {
                 rec.on_probation = true;
                 rec.consecutive_faults = 0;
                 rec.clean_streak = 0;
-                self.stats.readmissions += 1;
+                self.metrics.readmissions.inc();
                 readmitted = true;
                 report.events.push(HealthEvent {
                     device: id.clone(),
@@ -710,10 +788,10 @@ impl Supervisor {
         if in_lost || out_lost || readmitted {
             let sw = coord.reselect(proxy);
             if in_lost {
-                self.stats.failovers += 1;
+                self.metrics.failovers.inc();
             }
             if out_lost {
-                self.stats.failovers += 1;
+                self.metrics.failovers.inc();
             }
             report.input_switched_to = sw.input_switched_to;
             report.output_switched_to = sw.output_switched_to;
@@ -722,8 +800,12 @@ impl Supervisor {
 
         // 6. Last resort: the session had a screen and now has none.
         if self.cfg.fallback_terminal && had_output && proxy.attached().1.is_none() {
-            self.stats.fallback_activations += 1;
+            self.metrics.fallback_activations.inc();
             report.fallback_attached = true;
+            self.metrics
+                .registry
+                .journal()
+                .record("supervisor.fallback", "attached built-in terminal");
             report
                 .messages
                 .extend(proxy.attach_output(Box::new(FallbackTerminal)));
@@ -739,6 +821,28 @@ impl Supervisor {
             })
             .collect();
         report.messages.splice(0..0, notices);
+
+        // Journal every transition and refresh the health gauges.
+        for e in &report.events {
+            self.metrics.registry.journal().record(
+                "supervisor.transition",
+                format!("{}: {} -> {} ({})", e.device, e.from, e.to, e.cause),
+            );
+        }
+        if !report.events.is_empty() {
+            let quarantined = self
+                .records
+                .values()
+                .filter(|r| r.state == HealthState::Quarantined)
+                .count();
+            let dead = self
+                .records
+                .values()
+                .filter(|r| r.state == HealthState::Dead)
+                .count();
+            self.metrics.quarantined_now.set(quarantined as i64);
+            self.metrics.dead_now.set(dead as i64);
+        }
         report
     }
 
@@ -778,15 +882,15 @@ impl Supervisor {
             fault => {
                 let cause = match fault {
                     CallOutcome::Panic => {
-                        self.stats.plugin_panics += 1;
+                        self.metrics.plugin_panics.inc();
                         TransitionCause::Panic
                     }
                     CallOutcome::Timeout => {
-                        self.stats.plugin_timeouts += 1;
+                        self.metrics.plugin_timeouts.inc();
                         TransitionCause::Timeout
                     }
                     _ => {
-                        self.stats.garbage_events += 1;
+                        self.metrics.garbage_events.inc();
                         TransitionCause::Garbage
                     }
                 };
@@ -801,7 +905,7 @@ impl Supervisor {
                     rec.quarantine_count += 1;
                     if rec.quarantine_count > cfg.max_quarantines {
                         rec.state = HealthState::Dead;
-                        self.stats.deaths += 1;
+                        self.metrics.deaths.inc();
                         events.push(HealthEvent {
                             device: id.to_owned(),
                             from,
@@ -812,7 +916,7 @@ impl Supervisor {
                         rec.state = HealthState::Quarantined;
                         rec.on_probation = false;
                         rec.consecutive_faults = 0;
-                        self.stats.quarantines += 1;
+                        self.metrics.quarantines.inc();
                         let shift = rec.quarantine_count.saturating_sub(1).min(20);
                         let backoff = cfg
                             .probation_base_us

@@ -39,6 +39,8 @@ use uniint_core::supervisor::consume_fuel;
 use uniint_protocol::input::{ButtonMask, InputEvent};
 use uniint_raster::color::Color;
 use uniint_raster::framebuffer::Framebuffer;
+use uniint_telemetry::journal::Journal;
+use uniint_telemetry::registry::{Counter, Registry};
 
 /// One scripted plug-in fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,12 +131,20 @@ impl DeviceFaultSchedule {
     }
 }
 
+/// Pre-registered telemetry handles for one chaos-wrapped device.
+#[derive(Debug)]
+struct ChaosTelemetry {
+    faults_injected: Counter,
+    journal: Journal,
+}
+
 #[derive(Debug)]
 struct FaultyState {
     schedule: DeviceFaultSchedule,
     input_calls: u64,
     adapt_calls: u64,
     rng: StdRng,
+    telemetry: Option<ChaosTelemetry>,
 }
 
 impl FaultyState {
@@ -142,6 +152,15 @@ impl FaultyState {
         self.schedule
             .die_after
             .is_some_and(|n| self.input_calls >= n)
+    }
+
+    /// Counts and journals one scripted fault as it fires.
+    fn note_fault(&self, site: &str, n: u64, fault: Fault) {
+        if let Some(t) = &self.telemetry {
+            t.faults_injected.inc();
+            t.journal
+                .record("chaos.fault", format!("{site} call {n}: {fault:?}"));
+        }
     }
 }
 
@@ -181,11 +200,37 @@ impl FaultyDevice {
         schedule: DeviceFaultSchedule,
         seed: u64,
     ) -> (InteractionDevice, FaultyHandle) {
+        FaultyDevice::wrap_inner(device, schedule, seed, None)
+    }
+
+    /// Like [`FaultyDevice::wrap`], but records every fired fault into
+    /// `registry`: counter `chaos.faults_injected` plus a `chaos.fault`
+    /// journal event naming the call site, index and fault kind.
+    pub fn wrap_with_telemetry(
+        device: InteractionDevice,
+        schedule: DeviceFaultSchedule,
+        seed: u64,
+        registry: &Registry,
+    ) -> (InteractionDevice, FaultyHandle) {
+        let telemetry = ChaosTelemetry {
+            faults_injected: registry.counter("chaos.faults_injected"),
+            journal: registry.journal().clone(),
+        };
+        FaultyDevice::wrap_inner(device, schedule, seed, Some(telemetry))
+    }
+
+    fn wrap_inner(
+        device: InteractionDevice,
+        schedule: DeviceFaultSchedule,
+        seed: u64,
+        telemetry: Option<ChaosTelemetry>,
+    ) -> (InteractionDevice, FaultyHandle) {
         let state = Arc::new(Mutex::new(FaultyState {
             schedule,
             input_calls: 0,
             adapt_calls: 0,
             rng: StdRng::seed_from_u64(seed ^ 0x000f_a017_dead_beef),
+            telemetry,
         }));
         let handle = FaultyHandle(state.clone());
         let in_state = state.clone();
@@ -239,6 +284,9 @@ impl InputPlugin for FaultyInput {
             let n = s.input_calls;
             s.input_calls += 1;
             let fault = s.schedule.input_fault(n);
+            if let Some(f) = fault {
+                s.note_fault("translate", n, f);
+            }
             // Pre-draw garbage coordinates while the lock is held so the
             // RNG consumption order stays deterministic.
             let xy = if fault == Some(Fault::Garbage) {
@@ -304,7 +352,11 @@ impl OutputPlugin for FaultyOutput {
             };
             let n = s.adapt_calls;
             s.adapt_calls += 1;
-            s.schedule.adapt_fault(n)
+            let fault = s.schedule.adapt_fault(n);
+            if let Some(f) = fault {
+                s.note_fault("adapt", n, f);
+            }
+            fault
         };
         match fault {
             Some(Fault::Panic) => panic!("injected plug-in panic (scripted chaos)"),
@@ -432,6 +484,36 @@ mod tests {
             "dead device is mute"
         );
         assert_eq!(h.input_calls(), 2, "dead calls are not counted");
+    }
+
+    #[test]
+    fn telemetry_counts_and_journals_fired_faults() {
+        let registry = Registry::new();
+        let (dev, _h) = FaultyDevice::wrap_with_telemetry(
+            SimPda::interaction_device("pda"),
+            DeviceFaultSchedule::new()
+                .garbage_on_input(0)
+                .storm_on_input(1, 3),
+            7,
+            &registry,
+        );
+        let mut proxy = connected_proxy();
+        let mut coord = uniint_core::coordinator::Coordinator::new(
+            uniint_core::context::UserProfile::neutral("u"),
+            uniint_core::context::Situation::idle("z"),
+        );
+        coord.register(dev, &mut proxy);
+        let tap = SimPda::tap(10, 10);
+        proxy.device_input(&tap[0]); // garbage fires
+        proxy.device_input(&tap[1]); // storm fires
+        let tap2 = SimPda::tap(10, 10);
+        proxy.device_input(&tap2[0]); // clean: no fault scripted
+        assert_eq!(registry.counter("chaos.faults_injected").get(), 2);
+        let events = registry.journal().events();
+        let chaos: Vec<_> = events.iter().filter(|e| e.name == "chaos.fault").collect();
+        assert_eq!(chaos.len(), 2);
+        assert!(chaos[0].detail.contains("translate call 0: Garbage"));
+        assert!(chaos[1].detail.contains("translate call 1: Storm(3)"));
     }
 
     #[test]

@@ -17,6 +17,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use uniint_telemetry::histogram::Histogram;
+use uniint_telemetry::registry::{Counter, Registry};
 
 /// Identifies one end of a simulated link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,6 +52,74 @@ struct EndpointState {
 struct Delivery {
     to: usize,
     payload: Vec<u8>,
+    /// Virtual time the payload was handed to [`Simulator::send`];
+    /// delivery latency histograms are `arrival - sent_at`.
+    sent_at: u64,
+}
+
+/// Telemetry handles for one link (both directions share them).
+#[derive(Debug)]
+struct LinkTelemetry {
+    sends: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    delivery_us: Histogram,
+}
+
+impl LinkTelemetry {
+    fn new(registry: &Registry, link_id: usize) -> LinkTelemetry {
+        LinkTelemetry {
+            sends: registry.counter(&format!("netsim.link{link_id}.sends")),
+            delivered: registry.counter(&format!("netsim.link{link_id}.delivered")),
+            dropped: registry.counter(&format!("netsim.link{link_id}.dropped")),
+            delivery_us: registry.histogram(&format!("netsim.link{link_id}.delivery_us")),
+        }
+    }
+}
+
+/// Pre-registered handles for the whole simulator. Updates on the send
+/// and delivery paths are atomic operations only; the registry lock is
+/// touched exclusively here, at registration.
+#[derive(Debug)]
+struct SimTelemetry {
+    registry: Registry,
+    sends: Counter,
+    delivered: Counter,
+    drop_flap: Counter,
+    drop_burst: Counter,
+    drop_link_down: Counter,
+    drop_purged: Counter,
+    link_downs: Counter,
+    reconnects: Counter,
+    reconnects_failed: Counter,
+    links: Vec<LinkTelemetry>,
+}
+
+impl SimTelemetry {
+    fn new(registry: Registry) -> SimTelemetry {
+        SimTelemetry {
+            sends: registry.counter("netsim.sends"),
+            delivered: registry.counter("netsim.delivered"),
+            drop_flap: registry.counter("netsim.drops.flap"),
+            drop_burst: registry.counter("netsim.drops.burst"),
+            drop_link_down: registry.counter("netsim.drops.link_down"),
+            drop_purged: registry.counter("netsim.drops.purged"),
+            link_downs: registry.counter("netsim.link_downs"),
+            reconnects: registry.counter("netsim.reconnects"),
+            reconnects_failed: registry.counter("netsim.reconnects_failed"),
+            links: Vec::new(),
+            registry,
+        }
+    }
+
+    fn drop_counter(&self, cause: DropCause) -> &Counter {
+        match cause {
+            DropCause::Flap => &self.drop_flap,
+            DropCause::Burst => &self.drop_burst,
+            DropCause::LinkDown => &self.drop_link_down,
+            DropCause::Purged => &self.drop_purged,
+        }
+    }
 }
 
 /// The simulator: owns all endpoints, a virtual clock and the in-flight
@@ -73,6 +143,7 @@ pub struct Simulator {
     rng: StdRng,
     trace: Vec<TraceEvent>,
     tracing: bool,
+    telemetry: Option<SimTelemetry>,
 }
 
 impl Simulator {
@@ -87,12 +158,42 @@ impl Simulator {
             rng: StdRng::seed_from_u64(seed),
             trace: Vec::new(),
             tracing: false,
+            telemetry: None,
         }
     }
 
     /// Current virtual time in microseconds.
     pub fn now_us(&self) -> u64 {
         self.now_us
+    }
+
+    /// Attaches a telemetry registry. From here on the simulator drives
+    /// the registry's virtual clock (the determinism anchor for every
+    /// other instrumented subsystem) and records per-link send/deliver/
+    /// drop counters plus delivery-latency histograms. Links created
+    /// before or after attachment are both covered.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let mut telemetry = SimTelemetry::new(registry.clone());
+        for link_id in 0..self.endpoints.len() / 2 {
+            telemetry.links.push(LinkTelemetry::new(registry, link_id));
+        }
+        registry.clock().set_us(self.now_us);
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Advances the attached registry clock to the simulator clock.
+    fn drive_clock(&self) {
+        if let Some(t) = &self.telemetry {
+            t.registry.clock().set_us(self.now_us);
+        }
+    }
+
+    /// Counts a drop on `to`'s link under `cause`.
+    fn tele_drop(&self, to: usize, cause: DropCause) {
+        if let Some(t) = &self.telemetry {
+            t.drop_counter(cause).inc();
+            t.links[to / 2].dropped.inc();
+        }
     }
 
     /// Creates a bidirectional link, returning its two endpoints.
@@ -111,6 +212,10 @@ impl Simulator {
                 ge_bad: false,
                 up: true,
             });
+        }
+        if let Some(t) = &mut self.telemetry {
+            let registry = t.registry.clone();
+            t.links.push(LinkTelemetry::new(&registry, a / 2));
         }
         (Endpoint(a), Endpoint(b))
     }
@@ -170,9 +275,16 @@ impl Simulator {
                 to: d.to,
                 cause: DropCause::Purged,
             });
+            self.tele_drop(d.to, DropCause::Purged);
         }
         let (a, b) = (idx.min(peer), idx.max(peer));
         self.trace_push(TraceKind::LinkDown { a, b });
+        if let Some(t) = &self.telemetry {
+            t.link_downs.inc();
+            t.registry
+                .journal()
+                .record("netsim.link_down", format!("link {}", a / 2));
+        }
     }
 
     /// Attempts to restore a torn-down connection. Fails (returning
@@ -185,6 +297,9 @@ impl Simulator {
         let now = self.now_us;
         if self.endpoints[idx].faults.in_flap(now) || self.endpoints[peer].faults.in_flap(now) {
             self.trace_push(TraceKind::ReconnectFailed { a, b });
+            if let Some(t) = &self.telemetry {
+                t.reconnects_failed.inc();
+            }
             return false;
         }
         for i in [idx, peer] {
@@ -193,6 +308,12 @@ impl Simulator {
             self.endpoints[i].tx_free_at = self.endpoints[i].tx_free_at.max(now);
         }
         self.trace_push(TraceKind::Reconnect { a, b });
+        if let Some(t) = &self.telemetry {
+            t.reconnects.inc();
+            t.registry
+                .journal()
+                .record("netsim.reconnect", format!("link {}", a / 2));
+        }
         true
     }
 
@@ -219,11 +340,16 @@ impl Simulator {
             ep.bytes_sent += size as u64;
             ep.messages_sent += 1;
         }
+        if let Some(t) = &self.telemetry {
+            t.sends.inc();
+            t.links[from.0 / 2].sends.inc();
+        }
         if !self.endpoints[from.0].up {
             self.trace_push(TraceKind::Drop {
                 to,
                 cause: DropCause::LinkDown,
             });
+            self.tele_drop(to, DropCause::LinkDown);
             return;
         }
         if self.endpoints[from.0].faults.in_flap(self.now_us) {
@@ -231,6 +357,7 @@ impl Simulator {
                 to,
                 cause: DropCause::Flap,
             });
+            self.tele_drop(to, DropCause::Flap);
             self.break_link(from.0);
             return;
         }
@@ -249,6 +376,7 @@ impl Simulator {
                     to,
                     cause: DropCause::Burst,
                 });
+                self.tele_drop(to, DropCause::Burst);
                 self.break_link(from.0);
                 return;
             }
@@ -289,6 +417,7 @@ impl Simulator {
             Delivery {
                 to,
                 payload: payload.clone(),
+                sent_at: self.now_us,
             },
         );
         self.queue.push(Reverse((arrival, self.seq)));
@@ -296,7 +425,14 @@ impl Simulator {
         if dup > 0.0 && self.rng.gen_bool(dup) {
             self.trace_push(TraceKind::Duplicate { to });
             self.seq += 1;
-            self.deliveries.insert(self.seq, Delivery { to, payload });
+            self.deliveries.insert(
+                self.seq,
+                Delivery {
+                    to,
+                    payload,
+                    sent_at: self.now_us,
+                },
+            );
             self.queue.push(Reverse((arrival + 1, self.seq)));
         }
     }
@@ -348,17 +484,26 @@ impl Simulator {
                 continue;
             };
             self.now_us = self.now_us.max(t);
+            self.drive_clock();
             if self.endpoints[d.to].faults.in_flap(self.now_us) {
                 self.trace_push(TraceKind::Drop {
                     to: d.to,
                     cause: DropCause::Flap,
                 });
+                self.tele_drop(d.to, DropCause::Flap);
                 self.break_link(d.to);
                 return Some(self.now_us);
             }
             let bytes = d.payload.len();
             self.endpoints[d.to].inbox.push_back(d.payload);
             self.trace_push(TraceKind::Deliver { to: d.to, bytes });
+            if let Some(tele) = &self.telemetry {
+                tele.delivered.inc();
+                let link = &tele.links[d.to / 2];
+                link.delivered.inc();
+                link.delivery_us
+                    .record(self.now_us.saturating_sub(d.sent_at));
+            }
             return Some(self.now_us);
         }
     }
@@ -378,6 +523,7 @@ impl Simulator {
             self.step();
         }
         self.now_us = self.now_us.max(t_us);
+        self.drive_clock();
     }
 
     /// Advances the clock without delivering anything earlier.
@@ -690,6 +836,52 @@ mod tests {
         assert!(t1
             .iter()
             .any(|e| matches!(e.kind, TraceKind::LinkDown { .. })));
+    }
+
+    #[test]
+    fn telemetry_tracks_links_and_drives_clock() {
+        let registry = Registry::new();
+        let mut sim = Simulator::new(5);
+        let (a, _b) = sim.link(LinkProfile::ideal());
+        sim.attach_telemetry(&registry);
+        let (c, _d) = sim.link(LinkProfile::ideal()); // created after attach
+        sim.set_link_faults(a, FaultSchedule::new().flap(1_000, 2_000));
+        sim.send(a, vec![0u8; 64]);
+        sim.send(c, vec![0u8; 64]);
+        sim.run_until_idle();
+        sim.run_until(1_500); // inside the flap window
+        sim.send(a, vec![1]); // inside flap: dropped, breaks link
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["netsim.sends"], 3);
+        assert_eq!(snap.counters["netsim.delivered"], 2);
+        assert_eq!(snap.counters["netsim.drops.flap"], 1);
+        assert_eq!(snap.counters["netsim.link_downs"], 1);
+        assert_eq!(snap.counters["netsim.link0.sends"], 2);
+        assert_eq!(snap.counters["netsim.link1.sends"], 1);
+        assert_eq!(snap.histograms["netsim.link1.delivery_us"].count, 1);
+        assert_eq!(registry.now_us(), sim.now_us());
+    }
+
+    #[test]
+    fn telemetry_snapshot_is_byte_identical_across_runs() {
+        let run = || {
+            let registry = Registry::new();
+            let mut sim = Simulator::new(21);
+            sim.attach_telemetry(&registry);
+            let (a, b) = sim.link(LinkProfile::cellular_gprs());
+            sim.set_link_faults(a, FaultSchedule::new().burst_loss(0.1, 0.4, 0.9));
+            for i in 0..30u8 {
+                if !sim.link_up(a) {
+                    sim.reconnect(a);
+                }
+                sim.send(a, vec![i; 40]);
+                sim.advance(2_000);
+            }
+            sim.run_until_idle();
+            while sim.recv(b).is_some() {}
+            registry.snapshot().to_json()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Bounded event journal and RAII spans.
+//!
+//! The journal is a ring buffer of timestamped events — device switches,
+//! health transitions, resumes — capped so a chaos run cannot grow it
+//! without bound. When full, the oldest events are evicted and counted
+//! in `dropped`, which is itself exported so truncation is never silent.
+//!
+//! A [`Span`] measures a scoped operation against the virtual clock: it
+//! captures the clock on creation and records the elapsed virtual time
+//! into a `{name}_us` histogram when dropped. Because the clock is
+//! virtual, a span that brackets code which never advances the simulator
+//! records 0 — spans measure *simulated* latency, not host CPU time.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::clock::VirtualClock;
+use crate::histogram::Histogram;
+
+/// Default journal capacity (events retained).
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// One timestamped journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Virtual time the event was recorded, microseconds.
+    pub t_us: u64,
+    /// Event name, dot-separated (`"supervisor.transition"`).
+    pub name: String,
+    /// Free-form detail (`"lamp: Healthy -> Degraded"`).
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct Inner {
+    events: VecDeque<JournalEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A bounded, clonable ring buffer of [`JournalEvent`]s.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<Inner>>,
+    clock: VirtualClock,
+}
+
+impl Journal {
+    /// A journal with [`DEFAULT_CAPACITY`], stamped from `clock`.
+    pub fn new(clock: VirtualClock) -> Journal {
+        Journal::with_capacity(clock, DEFAULT_CAPACITY)
+    }
+
+    /// A journal retaining at most `capacity` events.
+    pub fn with_capacity(clock: VirtualClock, capacity: usize) -> Journal {
+        Journal {
+            inner: Arc::new(Mutex::new(Inner {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+            clock,
+        }
+    }
+
+    /// Appends an event stamped with the current virtual time.
+    pub fn record(&self, name: &str, detail: impl Into<String>) {
+        let event = JournalEvent {
+            t_us: self.clock.now_us(),
+            name: name.to_string(),
+            detail: detail.into(),
+        };
+        let mut inner = self.inner.lock().expect("journal poisoned");
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        let inner = self.inner.lock().expect("journal poisoned");
+        inner.events.iter().cloned().collect()
+    }
+
+    /// Events evicted so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("journal poisoned").dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("journal poisoned").events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// RAII guard that records elapsed *virtual* time into a histogram on
+/// drop. Obtained from [`crate::registry::Registry::span`].
+#[derive(Debug)]
+pub struct Span {
+    clock: VirtualClock,
+    start_us: u64,
+    hist: Histogram,
+}
+
+impl Span {
+    /// Starts a span at the clock's current time, feeding `hist`.
+    pub fn start(clock: VirtualClock, hist: Histogram) -> Span {
+        let start_us = clock.now_us();
+        Span {
+            clock,
+            start_us,
+            hist,
+        }
+    }
+
+    /// Virtual time elapsed since the span started.
+    pub fn elapsed_us(&self) -> u64 {
+        self.clock.now_us().saturating_sub(self.start_us)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record(self.elapsed_us());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_with_virtual_timestamps() {
+        let clock = VirtualClock::new();
+        let journal = Journal::new(clock.clone());
+        journal.record("a", "first");
+        clock.set_us(42);
+        journal.record("b", "second");
+        let events = journal.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].t_us, events[0].name.as_str()), (0, "a"));
+        assert_eq!((events[1].t_us, events[1].detail.as_str()), (42, "second"));
+    }
+
+    #[test]
+    fn evicts_oldest_and_counts_drops() {
+        let journal = Journal::with_capacity(VirtualClock::new(), 2);
+        journal.record("a", "");
+        journal.record("b", "");
+        journal.record("c", "");
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.dropped(), 1);
+        assert_eq!(journal.events()[0].name, "b");
+    }
+
+    #[test]
+    fn span_records_virtual_duration() {
+        let clock = VirtualClock::new();
+        let hist = Histogram::new();
+        {
+            let span = Span::start(clock.clone(), hist.clone());
+            clock.advance_us(300);
+            assert_eq!(span.elapsed_us(), 300);
+        }
+        let snap = hist.snapshot();
+        assert_eq!((snap.count, snap.max), (1, 300));
+    }
+}

@@ -1,0 +1,434 @@
+//! Canonical JSON: a writer whose output is byte-stable and a minimal
+//! parser for reading it back.
+//!
+//! The workspace is offline and the vendored `serde` stand-in has no
+//! `serde_json`, so the snapshot exporter and the CI baseline differ
+//! share this tiny module instead. Canonical form:
+//!
+//! - object keys sorted (the [`Value::Object`] variant is a `BTreeMap`);
+//! - numbers are integers only — telemetry never exports floats, which
+//!   removes the one classic source of cross-run byte drift;
+//! - 2-space indentation, `": "` after keys, no trailing whitespace.
+//!
+//! Two identical [`Value`] trees therefore always serialize to identical
+//! bytes, which is what the determinism CI step diffs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value restricted to what telemetry exports needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (counters, timestamps, histogram stats).
+    UInt(u64),
+    /// Signed integer (gauges).
+    Int(i64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with sorted keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Convenience: an empty object.
+    pub fn object() -> Value {
+        Value::Object(BTreeMap::new())
+    }
+
+    /// Inserts `key` into an object value. Panics on non-objects —
+    /// telemetry builds its trees statically, so that is a programmer
+    /// error, not a runtime condition.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        match self {
+            Value::Object(map) => {
+                map.insert(key.into(), value);
+            }
+            _ => panic!("insert on non-object JSON value"),
+        }
+    }
+
+    /// Borrow the object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `i128`, if this is a number.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::UInt(v) => Some(*v as i128),
+            Value::Int(v) => Some(*v as i128),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects: `value.get("counters")`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|map| map.get(key))
+    }
+
+    /// Serializes to canonical JSON (stable bytes for equal trees).
+    pub fn to_canonical(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, 0);
+        out.push('\n');
+        out
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::UInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_string(out, key);
+                out.push_str(": ");
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses canonical (or any whitespace-tolerant, integer-only) JSON.
+/// Floats are rejected by design — telemetry never emits them.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(ParseError::at(pos, "trailing data"));
+    }
+    Ok(value)
+}
+
+/// Error from [`parse`], with the byte offset where parsing stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What the parser expected.
+    pub message: &'static str,
+}
+
+impl ParseError {
+    fn at(offset: usize, message: &'static str) -> ParseError {
+        ParseError { offset, message }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(ParseError::at(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(_) => Err(ParseError::at(*pos, "unexpected character")),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &'static str,
+    value: Value,
+) -> Result<Value, ParseError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(ParseError::at(*pos, "invalid literal"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    let start = *pos;
+    let negative = bytes[*pos] == b'-';
+    if negative {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(ParseError::at(start, "expected digits"));
+    }
+    if matches!(bytes.get(*pos), Some(b'.' | b'e' | b'E')) {
+        return Err(ParseError::at(*pos, "floats are not supported"));
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| ParseError::at(start, "invalid utf-8 in number"))?;
+    if negative {
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| ParseError::at(start, "integer out of range"))
+    } else {
+        text.parse::<u64>()
+            .map(Value::UInt)
+            .map_err(|_| ParseError::at(start, "integer out of range"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(ParseError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or(ParseError::at(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| ParseError::at(*pos, "invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| ParseError::at(*pos, "invalid \\u escape"))?;
+                        let ch = char::from_u32(code)
+                            .ok_or(ParseError::at(*pos, "invalid \\u code point"))?;
+                        out.push(ch);
+                        *pos += 4;
+                    }
+                    _ => return Err(ParseError::at(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| ParseError::at(*pos, "invalid utf-8"))?;
+                let ch = rest.chars().next().expect("non-empty checked above");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(ParseError::at(*pos, "expected object key"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(ParseError::at(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(ParseError::at(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        let value = parse_value(bytes, pos)?;
+        items.push(value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(ParseError::at(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_canonical_form() {
+        let mut root = Value::object();
+        root.insert("zeta", Value::UInt(3));
+        root.insert("alpha", Value::Int(-7));
+        root.insert(
+            "list",
+            Value::Array(vec![Value::Str("a\"b".to_string()), Value::Bool(true)]),
+        );
+        root.insert("empty", Value::object());
+        let text = root.to_canonical();
+        let parsed = parse(&text).expect("canonical output parses");
+        assert_eq!(parsed, root);
+        // Canonical: re-serializing the parse is byte-identical.
+        assert_eq!(parsed.to_canonical(), text);
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let mut root = Value::object();
+        root.insert("b", Value::UInt(1));
+        root.insert("a", Value::UInt(2));
+        let text = root.to_canonical();
+        assert!(text.find("\"a\"").unwrap() < text.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn rejects_floats() {
+        assert!(parse("1.5").is_err());
+        assert!(parse("1e3").is_err());
+        assert!(parse("[3, 4.0]").is_err());
+    }
+
+    #[test]
+    fn parses_signed_and_unsigned() {
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(parse("-12").unwrap(), Value::Int(-12));
+    }
+
+    #[test]
+    fn reports_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+    }
+}

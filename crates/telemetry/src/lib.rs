@@ -1,0 +1,64 @@
+//! # uniint-telemetry
+//!
+//! Deterministic observability for the UniInt reproduction.
+//!
+//! The paper's proxy *selects and dynamically switches* interaction
+//! devices "according to the user's situation" — a decision loop that is
+//! untunable without visibility into per-stage latencies, switch causes
+//! and recovery events. This crate provides that visibility without
+//! sacrificing the property every other subsystem is built on:
+//! **bit-determinism per seed**.
+//!
+//! Three ingredients:
+//!
+//! - a [`registry::Registry`] of named metrics — [`registry::Counter`]s,
+//!   [`registry::Gauge`]s and fixed-bucket [`histogram::Histogram`]s
+//!   with p50/p95/p99/max. Metric *updates* are lock-free atomic
+//!   operations on pre-registered handles; only registration itself
+//!   takes a lock, so instrumented hot paths never contend;
+//! - a span-scoped [`journal::Journal`] — a bounded ring buffer of
+//!   timestamped events (device switches, health transitions, resumes)
+//!   with RAII [`journal::Span`]s that feed duration histograms;
+//! - a shared [`clock::VirtualClock`]. Every reading is stamped with
+//!   the **netsim virtual clock** (`Simulator::now_us`), never
+//!   `Instant::now`, so two runs of the same seeded scenario export
+//!   byte-identical snapshots.
+//!
+//! [`snapshot::Snapshot`] renders the whole registry as aligned text or
+//! canonical JSON (sorted keys, integers only, stable formatting); the
+//! [`json`] module also parses that JSON back, which is how the CI
+//! benchmark-regression gate diffs a run against its checked-in
+//! baseline.
+//!
+//! ```
+//! use uniint_telemetry::prelude::*;
+//! let registry = Registry::new();
+//! let decoded = registry.counter("proxy.rects_decoded");
+//! let bytes = registry.histogram("proxy.rect_payload_bytes");
+//! decoded.inc();
+//! bytes.record(512);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counters["proxy.rects_decoded"], 1);
+//! // Canonical JSON: two identical runs produce identical bytes.
+//! assert_eq!(snap.to_json(), registry.snapshot().to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod histogram;
+pub mod journal;
+pub mod json;
+pub mod registry;
+pub mod snapshot;
+
+/// Convenient re-exports of the telemetry surface.
+pub mod prelude {
+    pub use crate::clock::VirtualClock;
+    pub use crate::histogram::{Histogram, HistogramSnapshot};
+    pub use crate::journal::{Journal, JournalEvent, Span};
+    pub use crate::json::Value;
+    pub use crate::registry::{Counter, Gauge, Registry};
+    pub use crate::snapshot::Snapshot;
+}

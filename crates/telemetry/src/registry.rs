@@ -1,0 +1,229 @@
+//! The metrics registry: named counters, gauges and histograms plus the
+//! shared clock and journal.
+//!
+//! Locking discipline: the registry's maps are behind a `Mutex`, but the
+//! mutex is taken only on **registration** (get-or-create by name) and
+//! on snapshot. Instrumented code registers its handles once — at proxy
+//! construction, at link creation — and every subsequent update is a
+//! plain atomic operation on the handle. Hot paths never touch the lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::VirtualClock;
+use crate::histogram::Histogram;
+use crate::journal::{Journal, Span};
+use crate::snapshot::Snapshot;
+
+/// A monotonically increasing counter handle. Clones share the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed, settable gauge handle. Clones share the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `dv` (may be negative).
+    pub fn add(&self, dv: i64) {
+        self.cell.fetch_add(dv, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Metrics {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The registry. Cloning is cheap and shares all metrics, the clock and
+/// the journal — a session creates one registry and hands clones to the
+/// proxy, the server and the simulator.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    metrics: Arc<Mutex<Metrics>>,
+    clock: VirtualClock,
+    journal: Journal,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with a fresh clock at time zero.
+    pub fn new() -> Registry {
+        let clock = VirtualClock::new();
+        Registry {
+            metrics: Arc::new(Mutex::new(Metrics::default())),
+            journal: Journal::new(clock.clone()),
+            clock,
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Current virtual time, microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    /// The shared event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Get-or-create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        metrics
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get-or-create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        metrics.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get-or-create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        metrics
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Starts a [`Span`] feeding the `{name}_us` histogram. The span
+    /// measures virtual time and records on drop.
+    pub fn span(&self, name: &str) -> Span {
+        let hist = self.histogram(&format!("{name}_us"));
+        Span::start(self.clock.clone(), hist)
+    }
+
+    /// A consistent point-in-time snapshot of every metric, the journal
+    /// and the clock.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        Snapshot {
+            t_us: self.clock.now_us(),
+            counters: metrics
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: metrics
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: metrics
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            journal: self.journal.events(),
+            journal_dropped: self.journal.dropped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_shared_handles() {
+        let registry = Registry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("x").get(), 3);
+    }
+
+    #[test]
+    fn gauges_go_both_ways() {
+        let registry = Registry::new();
+        let g = registry.gauge("depth");
+        g.set(5);
+        g.add(-8);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn span_feeds_suffixed_histogram() {
+        let registry = Registry::new();
+        {
+            let _span = registry.span("proxy.decode");
+            registry.clock().advance_us(120);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["proxy.decode_us"].count, 1);
+        assert_eq!(snap.histograms["proxy.decode_us"].max, 120);
+    }
+
+    #[test]
+    fn snapshot_sees_journal_and_clock() {
+        let registry = Registry::new();
+        registry.clock().set_us(77);
+        registry.journal().record("switch", "panel -> tv");
+        let snap = registry.snapshot();
+        assert_eq!(snap.t_us, 77);
+        assert_eq!(snap.journal.len(), 1);
+        assert_eq!(snap.journal[0].t_us, 77);
+    }
+
+    #[test]
+    fn clones_share_everything() {
+        let registry = Registry::new();
+        let view = registry.clone();
+        registry.counter("n").inc();
+        view.clock().set_us(9);
+        assert_eq!(view.counter("n").get(), 1);
+        assert_eq!(registry.now_us(), 9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Whole-registry snapshots with text and canonical-JSON rendering.
+//!
+//! The JSON schema (all values integers or strings):
+//!
+//! ```json
+//! {
+//!   "t_us": 120000,
+//!   "counters": { "proxy.rects_decoded": 42 },
+//!   "gauges": { "supervisor.quarantined": 1 },
+//!   "histograms": {
+//!     "proxy.decode_us": {
+//!       "count": 42, "sum": 9000, "min": 10, "max": 900,
+//!       "p50": 127, "p95": 511, "p99": 900,
+//!       "buckets": [[15, 3], [127, 30], [1023, 9]]
+//!     }
+//!   },
+//!   "journal": { "dropped": 0, "events": [
+//!     { "t_us": 50, "name": "coordinator.switch", "detail": "panel -> tv" }
+//!   ]}
+//! }
+//! ```
+//!
+//! Keys are sorted and no floats appear, so equal snapshots serialize to
+//! identical bytes — the property the CI determinism step diffs.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::HistogramSnapshot;
+use crate::journal::JournalEvent;
+use crate::json::Value;
+
+/// Point-in-time view of a whole [`crate::registry::Registry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Virtual time the snapshot was taken, microseconds.
+    pub t_us: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram views by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Retained journal events, oldest first.
+    pub journal: Vec<JournalEvent>,
+    /// Journal events evicted because the ring was full.
+    pub journal_dropped: u64,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as canonical JSON (byte-stable for equal
+    /// snapshots; see module docs for the schema).
+    pub fn to_json(&self) -> String {
+        let mut root = Value::object();
+        root.insert("t_us", Value::UInt(self.t_us));
+
+        let mut counters = Value::object();
+        for (name, v) in &self.counters {
+            counters.insert(name, Value::UInt(*v));
+        }
+        root.insert("counters", counters);
+
+        let mut gauges = Value::object();
+        for (name, v) in &self.gauges {
+            gauges.insert(name, Value::Int(*v));
+        }
+        root.insert("gauges", gauges);
+
+        let mut histograms = Value::object();
+        for (name, h) in &self.histograms {
+            let mut obj = Value::object();
+            obj.insert("count", Value::UInt(h.count));
+            obj.insert("sum", Value::UInt(h.sum));
+            obj.insert("min", Value::UInt(h.min));
+            obj.insert("max", Value::UInt(h.max));
+            obj.insert("p50", Value::UInt(h.p50));
+            obj.insert("p95", Value::UInt(h.p95));
+            obj.insert("p99", Value::UInt(h.p99));
+            obj.insert(
+                "buckets",
+                Value::Array(
+                    h.buckets
+                        .iter()
+                        .map(|(bound, n)| Value::Array(vec![Value::UInt(*bound), Value::UInt(*n)]))
+                        .collect(),
+                ),
+            );
+            histograms.insert(name, obj);
+        }
+        root.insert("histograms", histograms);
+
+        let mut journal = Value::object();
+        journal.insert("dropped", Value::UInt(self.journal_dropped));
+        journal.insert(
+            "events",
+            Value::Array(
+                self.journal
+                    .iter()
+                    .map(|e| {
+                        let mut obj = Value::object();
+                        obj.insert("t_us", Value::UInt(e.t_us));
+                        obj.insert("name", Value::Str(e.name.clone()));
+                        obj.insert("detail", Value::Str(e.detail.clone()));
+                        obj
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert("journal", journal);
+
+        root.to_canonical()
+    }
+
+    /// Renders the snapshot as aligned, human-readable text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("telemetry @ {} us\n", self.t_us));
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  count={} min={} p50={} p95={} p99={} max={}\n",
+                    h.count, h.min, h.p50, h.p95, h.p99, h.max
+                ));
+            }
+        }
+        if !self.journal.is_empty() || self.journal_dropped > 0 {
+            out.push_str(&format!(
+                "journal ({} events, {} dropped):\n",
+                self.journal.len(),
+                self.journal_dropped
+            ));
+            for event in &self.journal {
+                out.push_str(&format!(
+                    "  [{:>10} us] {}: {}\n",
+                    event.t_us, event.name, event.detail
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let registry = Registry::new();
+        registry.counter("proxy.rects_decoded").add(42);
+        registry.gauge("supervisor.quarantined").set(1);
+        registry.histogram("proxy.decode_us").record(120);
+        registry.clock().set_us(5_000);
+        registry
+            .journal()
+            .record("coordinator.switch", "panel -> tv");
+        registry.snapshot()
+    }
+
+    #[test]
+    fn json_is_byte_stable() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_parses_back() {
+        let snap = sample();
+        let parsed = json::parse(&snap.to_json()).expect("export parses");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("proxy.rects_decoded"))
+                .and_then(|v| v.as_i128()),
+            Some(42)
+        );
+        assert_eq!(parsed.get("t_us").and_then(|v| v.as_i128()), Some(5_000));
+        let events = parsed
+            .get("journal")
+            .and_then(|j| j.get("events"))
+            .and_then(|e| e.as_array())
+            .expect("events array");
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn text_render_mentions_every_section() {
+        let text = sample().to_text();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("journal (1 events, 0 dropped):"));
+        assert!(text.contains("proxy.rects_decoded"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the histogram: bucket bounds are monotone, every
+//! recorded value lands in a bucket whose bound covers it, and the
+//! exported quantiles are ordered and bracketed by min/max.
+
+use proptest::prelude::*;
+use uniint_telemetry::histogram::{bucket_bound, bucket_index, Histogram, BUCKETS};
+
+proptest! {
+    #[test]
+    fn bucket_bounds_are_strictly_monotone(i in 0usize..BUCKETS - 1) {
+        prop_assert!(bucket_bound(i) < bucket_bound(i + 1));
+    }
+
+    #[test]
+    fn every_value_fits_its_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(v <= bucket_bound(i), "{v} > bound {}", bucket_bound(i));
+        if i > 0 {
+            prop_assert!(v > bucket_bound(i - 1), "{v} fits the previous bucket too");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracketed(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+        prop_assert!(s.min <= s.p50, "min {} > p50 {}", s.min, s.p50);
+        prop_assert!(s.p50 <= s.p95, "p50 {} > p95 {}", s.p50, s.p95);
+        prop_assert!(s.p95 <= s.p99, "p95 {} > p99 {}", s.p95, s.p99);
+        prop_assert!(s.p99 <= s.max, "p99 {} > max {}", s.p99, s.max);
+    }
+
+    #[test]
+    fn bucket_counts_sum_to_count(values in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let total: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(total, values.len() as u64);
+        // Non-empty buckets are reported in ascending bound order.
+        for w in s.buckets.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+}

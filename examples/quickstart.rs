@@ -56,4 +56,11 @@ fn main() {
         frame.format
     );
     println!("{}", ascii_art(&frame.frame));
+
+    // 7. Everything above was measured: the session's server and proxy
+    //    share one telemetry registry, and because no wall clock is ever
+    //    consulted the snapshot below is byte-identical on every run.
+    let snap = session.telemetry().snapshot();
+    println!("Session telemetry:\n\n{}", snap.to_text());
+    println!("Telemetry JSON:\n{}", snap.to_json());
 }

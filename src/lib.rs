@@ -20,6 +20,7 @@
 //! | [`core`] | `uniint-core` | UniInt server, proxy, plug-ins, selection policy |
 //! | [`devices`] | `uniint-devices` | simulated PDAs, phones, voice, remotes |
 //! | [`apps`] | `uniint-apps` | appliance control-panel applications |
+//! | [`telemetry`] | `uniint-telemetry` | deterministic metrics, journal, snapshots |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use uniint_havi as havi;
 pub use uniint_netsim as netsim;
 pub use uniint_protocol as protocol;
 pub use uniint_raster as raster;
+pub use uniint_telemetry as telemetry;
 pub use uniint_wsys as wsys;
 
 /// One prelude across the whole system.
@@ -61,6 +63,13 @@ pub mod prelude {
     pub use uniint_netsim::prelude::*;
     pub use uniint_protocol::prelude::*;
     pub use uniint_raster::prelude::*;
+    // `Registry` is deliberately not glob-exported: HAVi's element
+    // registry already owns that name here. Reach the telemetry one as
+    // `uniint::telemetry::prelude::Registry` (or via `session.telemetry()`).
+    pub use uniint_telemetry::prelude::{
+        Counter, Gauge, Histogram, HistogramSnapshot, Journal, JournalEvent, Snapshot, Span,
+        VirtualClock,
+    };
     pub use uniint_wsys::prelude::{
         columns, grid, rows, Action, ActionEvent, Align, Button, Cell, Checkbox, ImageView, Label,
         ListBox, ProgressBar, Separator, Slider, Spinner, TabBar, TextField, Theme, Toggle, Ui,
