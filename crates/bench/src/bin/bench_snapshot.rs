@@ -1,12 +1,13 @@
 //! Deterministic experiment snapshot for CI regression gating.
 //!
 //! Runs quick, fully deterministic variants of the paper experiments
-//! E1–E10 and emits one canonical-JSON document of shape
+//! E1–E11 and emits one canonical-JSON document of shape
 //! `{ experiment: { metric: integer } }`. Every metric is derived from
 //! the virtual clock, wire byte counts or telemetry counters — never
 //! from wall time — so the same toolchain produces the same bytes on
 //! every run and the document can be diffed against a checked-in
-//! baseline.
+//! baseline. (E11 exercises the loopback TCP gateway; it runs under
+//! wall-clock but records only serialized, race-free counters.)
 //!
 //! Usage:
 //!
@@ -26,11 +27,15 @@ use uniint_apps::prelude::*;
 use uniint_bench::{home_with, standard_scene, DamagePattern};
 use uniint_core::prelude::*;
 use uniint_devices::prelude::*;
+use uniint_gateway::prelude::{Gateway, GatewayClient, GatewayConfig};
 use uniint_netsim::prelude::{FaultSchedule, LinkProfile};
 use uniint_protocol::encoding::{encode_rect, Encoding};
+use uniint_protocol::input::InputEvent;
+use uniint_protocol::message::ClientMessage;
 use uniint_raster::prelude::*;
 use uniint_telemetry::json::{parse, Value};
-use uniint_wsys::prelude::Theme;
+use uniint_telemetry::registry::Registry;
+use uniint_wsys::prelude::{Theme, Toggle, Ui};
 
 /// Turns a link/pattern display name into a metric-name token.
 fn slug(name: &str) -> String {
@@ -371,6 +376,112 @@ fn e10() -> Value {
     m
 }
 
+/// E11 quick: the TCP gateway on loopback — concurrent socket clients
+/// converging on one panel, plus one socket kill → reconnect → resume.
+/// Real sockets run under wall-clock time, so only *counters* and the
+/// convergence verdict enter the snapshot; they are deterministic
+/// because every interaction is serialized behind a convergence wait.
+fn e11() -> Value {
+    use std::time::{Duration, Instant};
+
+    const CLIENTS: usize = 4;
+
+    fn pump_until(
+        clients: &mut [GatewayClient],
+        what: &str,
+        mut cond: impl FnMut(&[GatewayClient]) -> bool,
+    ) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            for c in clients.iter_mut() {
+                c.pump_once().expect("pump");
+            }
+            if cond(clients) {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "e11 timed out waiting for {what}"
+            );
+        }
+    }
+
+    fn pump_quiescent(clients: &mut [GatewayClient]) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut last_activity = Instant::now();
+        while last_activity.elapsed() < Duration::from_millis(200) {
+            for c in clients.iter_mut() {
+                if c.pump_once().expect("pump") {
+                    last_activity = Instant::now();
+                }
+            }
+            assert!(Instant::now() < deadline, "e11 never quiesced");
+        }
+    }
+
+    fn click() -> Vec<ClientMessage> {
+        InputEvent::click(80, 34)
+            .into_iter()
+            .map(ClientMessage::Input)
+            .collect()
+    }
+
+    let mut m = Value::object();
+    let registry = Registry::new();
+    let mut ui = Ui::new(160, 120, Theme::classic(), "e11-panel");
+    ui.add(Toggle::new("Power", false), Rect::new(20, 20, 120, 28));
+    let gw = Gateway::spawn(ui, GatewayConfig::default(), registry.clone()).expect("gateway binds");
+    let addr = gw.local_addr();
+
+    let mut clients: Vec<GatewayClient> = (0..CLIENTS)
+        .map(|i| GatewayClient::connect(addr, format!("bench-{i}"), i as u64).expect("connect"))
+        .collect();
+    pump_quiescent(&mut clients);
+
+    // Serialized clicks: every viewer must apply each click's update
+    // before the next client clicks, so counters cannot race.
+    for i in 0..CLIENTS {
+        let before: Vec<u64> = clients.iter().map(|c| c.stats().updates_applied).collect();
+        clients[i].send_messages(click());
+        pump_until(&mut clients, "click fan-out", |cs| {
+            cs.iter()
+                .zip(&before)
+                .all(|(c, b)| c.stats().updates_applied > *b)
+        });
+    }
+    pump_quiescent(&mut clients);
+
+    // Kill one socket; damage from another client forces an update the
+    // victim must pick up through reconnect + incremental resume.
+    clients[1].send_messages(click());
+    clients[0].kill_socket();
+    pump_until(&mut clients, "victim resume", |cs| {
+        cs[0].stats().resumes >= 1
+    });
+    pump_quiescent(&mut clients);
+
+    let full_resyncs: u64 = clients.iter().map(|c| c.stats().full_resyncs).sum();
+    let frames: Vec<_> = clients
+        .iter()
+        .map(|c| c.proxy.server_frame().expect("framebuffer").clone())
+        .collect();
+    let ui = gw.shutdown();
+    let converged = frames.iter().all(|f| f == ui.framebuffer());
+
+    let snap = registry.snapshot();
+    let counter = |n: &str| snap.counters.get(n).copied().unwrap_or(0);
+    m.insert("clients", Value::UInt(CLIENTS as u64));
+    m.insert(
+        "inputs_injected",
+        Value::UInt(counter("server.inputs_injected")),
+    );
+    m.insert("reconnects", Value::UInt(counter("gateway.reconnects")));
+    m.insert("resumes", Value::UInt(counter("gateway.resumes")));
+    m.insert("full_resyncs", Value::UInt(full_resyncs));
+    m.insert("converged", Value::UInt(u64::from(converged)));
+    m
+}
+
 /// Builds the whole snapshot document.
 fn snapshot() -> Value {
     let mut root = Value::object();
@@ -384,6 +495,7 @@ fn snapshot() -> Value {
     root.insert("e8_havi", e8());
     root.insert("e9_faults", e9());
     root.insert("e10_supervision", e10());
+    root.insert("e11_gateway", e11());
     root
 }
 

@@ -9,6 +9,7 @@
 
 use crate::server::{ServerStats, UniIntServer};
 use uniint_protocol::message::{ClientMessage, ServerMessage};
+use uniint_telemetry::registry::Registry;
 use uniint_wsys::ui::Ui;
 
 /// Identifies one connected client (proxy) of a [`MultiServer`].
@@ -34,6 +35,15 @@ impl MultiServer {
     /// to send `Hello` through [`handle_message`](Self::handle_message).
     pub fn accept(&mut self, ui: &Ui) -> ClientId {
         self.clients.push(Some(UniIntServer::new(ui)));
+        self.clients.len() - 1
+    }
+
+    /// Like [`accept`](Self::accept), but the new per-client server
+    /// records into a shared telemetry `registry`, so counters like
+    /// `server.inputs_injected` aggregate across all clients.
+    pub fn accept_with_telemetry(&mut self, ui: &Ui, registry: Registry) -> ClientId {
+        self.clients
+            .push(Some(UniIntServer::with_telemetry(ui, registry)));
         self.clients.len() - 1
     }
 
@@ -81,6 +91,17 @@ impl MultiServer {
         client: ClientId,
         msg: ClientMessage,
     ) -> Vec<ServerMessage> {
+        // Fold shared damage into *every* client's account before this
+        // message is processed: an `UpdateRequest` pumps its own server,
+        // and that pump must not consume window damage the other
+        // viewers haven't been credited with yet.
+        ui.render();
+        let damage = ui.framebuffer_mut().take_damage();
+        if !damage.is_empty() {
+            for server in self.clients.iter_mut().flatten() {
+                server.add_damage(&damage);
+            }
+        }
         let Some(Some(server)) = self.clients.get_mut(client) else {
             return Vec::new();
         };

@@ -1,0 +1,124 @@
+//! Loopback load generator for the TCP gateway.
+//!
+//! Spawns one gateway serving a small appliance panel and N concurrent
+//! socket clients, each in its own thread clicking the panel and
+//! waiting for the resulting framebuffer update. Reports aggregate
+//! update throughput and per-interaction latency percentiles.
+//!
+//! ```text
+//! gateway_load [--clients N] [--duration-ms MS]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use uniint_gateway::prelude::*;
+use uniint_protocol::input::InputEvent;
+use uniint_protocol::message::ClientMessage;
+use uniint_raster::geom::Rect;
+use uniint_telemetry::registry::Registry;
+use uniint_wsys::prelude::{Theme, Toggle, Ui};
+
+struct Args {
+    clients: usize,
+    duration: Duration,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 8,
+        duration: Duration::from_millis(2000),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = grab("--clients") as usize,
+            "--duration-ms" => args.duration = Duration::from_millis(grab("--duration-ms")),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: gateway_load [--clients N] [--duration-ms MS]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let mut ui = Ui::new(160, 120, Theme::classic(), "load-panel");
+    ui.add(Toggle::new("Power", false), Rect::new(20, 20, 120, 28));
+    let gw = Gateway::spawn(ui, GatewayConfig::default(), Registry::new())
+        .expect("gateway binds loopback");
+    let addr = gw.local_addr();
+
+    let workers: Vec<_> = (0..args.clients)
+        .map(|i| {
+            let duration = args.duration;
+            std::thread::spawn(move || -> (u64, Vec<u64>) {
+                let mut c = GatewayClient::connect(addr, format!("load-{i}"), i as u64)
+                    .expect("client connects");
+                // Drain the initial full update before timing starts.
+                let warmup = Instant::now();
+                while c.stats().updates_applied == 0 && warmup.elapsed() < Duration::from_secs(5) {
+                    c.pump_once().expect("pump");
+                }
+                let mut latencies_us = Vec::new();
+                let t0 = Instant::now();
+                while t0.elapsed() < duration {
+                    let before = c.stats().updates_applied;
+                    let sent = Instant::now();
+                    c.send_messages(
+                        InputEvent::click(80, 34)
+                            .into_iter()
+                            .map(ClientMessage::Input)
+                            .collect(),
+                    );
+                    // Wait for the update this click provokes.
+                    while c.stats().updates_applied == before
+                        && sent.elapsed() < Duration::from_secs(2)
+                    {
+                        c.pump_once().expect("pump");
+                    }
+                    latencies_us.push(sent.elapsed().as_micros() as u64);
+                }
+                (c.stats().updates_applied, latencies_us)
+            })
+        })
+        .collect();
+
+    let mut total_updates = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in workers {
+        let (updates, lat) = w.join().expect("worker");
+        total_updates += updates;
+        latencies.extend(lat);
+    }
+    let _panel = gw.shutdown();
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let secs = args.duration.as_secs_f64();
+    println!(
+        "gateway_load: {} clients, {:.1}s: {} updates ({:.0} updates/sec), \
+         frame latency p50 {} us, p99 {} us",
+        args.clients,
+        secs,
+        total_updates,
+        total_updates as f64 / secs,
+        pct(0.50),
+        pct(0.99),
+    );
+}

@@ -1,0 +1,402 @@
+//! The proxy-side connection lifecycle over a real TCP socket.
+//!
+//! [`GatewayClient`] wraps a [`uniint_core::proxy::UniIntProxy`] with
+//! everything a socket adds to the paper's in-process story: stall
+//! detection (EOF, write failure, read error), reconnection under
+//! seeded exponential backoff with jitter, and **incremental resume** —
+//! after a break the client reattaches with a raw `Hello` + `Resume`
+//! (neither logged, mirroring the server's accounting), receives the
+//! damage it missed, and retransmits its own lost messages from a
+//! session-side log once `ResumeAck` reports how many arrived.
+//!
+//! This is the same recovery machinery proven deterministic in the
+//! network simulator ([`uniint_core::session::SimSession`]), rehosted
+//! on `std::net::TcpStream`.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uniint_core::plugin::{DeviceEvent, DeviceFrame, InputPlugin, OutputPlugin};
+use uniint_core::proxy::{ProxyStats, UniIntProxy};
+use uniint_protocol::error::ProtocolError;
+use uniint_protocol::message::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
+use uniint_telemetry::registry::Registry;
+
+use crate::codec::{FramedSocket, ReadStatus, DEFAULT_MAX_FRAME};
+
+/// Tuning knobs for a [`GatewayClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Largest frame accepted from the server, bytes.
+    pub max_frame: usize,
+    /// Socket read timeout per [`GatewayClient::pump_once`] call.
+    pub poll: Duration,
+    /// First reconnect backoff delay.
+    pub backoff_base: Duration,
+    /// Reconnect backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Reconnect attempts per stall before giving up.
+    pub max_attempts: u32,
+    /// Send a keepalive (incremental update request) after this long
+    /// without outbound traffic. `None` disables keepalives.
+    pub keepalive: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            poll: Duration::from_millis(10),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            max_attempts: 10,
+            keepalive: None,
+        }
+    }
+}
+
+/// Why a [`GatewayClient`] operation failed.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// Socket-level failure outside the recoverable set.
+    Io(io::Error),
+    /// The server sent something undecodable.
+    Protocol(ProtocolError),
+    /// The connection stalled and every reconnect attempt failed.
+    Stalled {
+        /// Reconnect attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl From<io::Error> for GatewayError {
+    fn from(e: io::Error) -> GatewayError {
+        GatewayError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for GatewayError {
+    fn from(e: ProtocolError) -> GatewayError {
+        GatewayError::Protocol(e)
+    }
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Io(e) => write!(f, "socket error: {e}"),
+            GatewayError::Protocol(e) => write!(f, "protocol error: {e}"),
+            GatewayError::Stalled { attempts } => {
+                write!(f, "stalled; gave up after {attempts} reconnect attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GatewayError::Io(e) => Some(e),
+            GatewayError::Protocol(e) => Some(e),
+            GatewayError::Stalled { .. } => None,
+        }
+    }
+}
+
+/// A UniInt proxy attached to a [`crate::host::Gateway`] over TCP.
+#[derive(Debug)]
+pub struct GatewayClient {
+    /// The protocol engine: framebuffer cache, device plug-ins, stats.
+    pub proxy: UniIntProxy,
+    name: String,
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    sock: FramedSocket,
+    /// Every client message sent this session except `Hello`/`Resume`
+    /// replays, minus an already-acknowledged prefix of `log_offset`
+    /// messages — exactly the `SimSession` retransmission log.
+    client_log: Vec<ClientMessage>,
+    log_offset: u64,
+    backoff_rng: StdRng,
+    last_frame: Option<DeviceFrame>,
+    frames_delivered: u64,
+    bells: u32,
+    last_send: Instant,
+}
+
+impl GatewayClient {
+    /// Connects to `addr` with default config and a private registry,
+    /// completing the protocol handshake before returning.
+    pub fn connect(
+        addr: SocketAddr,
+        name: impl Into<String>,
+        seed: u64,
+    ) -> Result<GatewayClient, GatewayError> {
+        GatewayClient::connect_with(addr, name, seed, ClientConfig::default(), Registry::new())
+    }
+
+    /// Connects with explicit config and telemetry registry.
+    pub fn connect_with(
+        addr: SocketAddr,
+        name: impl Into<String>,
+        seed: u64,
+        cfg: ClientConfig,
+        registry: Registry,
+    ) -> Result<GatewayClient, GatewayError> {
+        let name = name.into();
+        let stream = TcpStream::connect(addr)?;
+        let sock = FramedSocket::new(stream, cfg.max_frame, cfg.poll)?;
+        let mut c = GatewayClient {
+            proxy: UniIntProxy::with_telemetry(name.clone(), registry),
+            name,
+            addr,
+            cfg,
+            sock,
+            client_log: Vec::new(),
+            log_offset: 0,
+            backoff_rng: StdRng::seed_from_u64(seed ^ 0x5e55_10e5_b0ff_0e5e),
+            last_frame: None,
+            frames_delivered: 0,
+            bells: 0,
+            last_send: Instant::now(),
+        };
+        for m in c.proxy.connect() {
+            c.send_logged(m);
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !c.proxy.is_connected() {
+            c.pump_once()?;
+            if Instant::now() > deadline {
+                return Err(GatewayError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "handshake never completed",
+                )));
+            }
+        }
+        Ok(c)
+    }
+
+    /// The client name sessions are keyed by.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Accumulated proxy statistics (stalls, resumes, retransmits...).
+    pub fn stats(&self) -> ProxyStats {
+        self.proxy.stats()
+    }
+
+    /// Bell count so far.
+    pub fn bells(&self) -> u32 {
+        self.bells
+    }
+
+    /// Frames delivered to the output device so far.
+    pub fn frames_delivered(&self) -> u64 {
+        self.frames_delivered
+    }
+
+    /// The most recent adapted device frame.
+    pub fn last_frame(&self) -> Option<&DeviceFrame> {
+        self.last_frame.as_ref()
+    }
+
+    /// Takes the most recent adapted frame.
+    pub fn take_frame(&mut self) -> Option<DeviceFrame> {
+        self.last_frame.take()
+    }
+
+    /// Installs an input plug-in (see [`UniIntProxy::attach_input`]).
+    pub fn attach_input(&mut self, plugin: Box<dyn InputPlugin>) {
+        self.proxy.attach_input(plugin);
+    }
+
+    /// Installs an output plug-in and sends the session renegotiation it
+    /// requires (pixel format, encodings, full refresh).
+    pub fn attach_output(&mut self, plugin: Box<dyn OutputPlugin>) {
+        for m in self.proxy.attach_output(plugin) {
+            self.send_logged(m);
+        }
+    }
+
+    /// Translates a device-native event through the input plug-in and
+    /// sends the resulting protocol messages.
+    pub fn device_input(&mut self, ev: &DeviceEvent) {
+        for m in self.proxy.device_input(ev) {
+            self.send_logged(m);
+        }
+    }
+
+    /// Sends arbitrary client messages (they enter the retransmission
+    /// log like any other traffic).
+    pub fn send_messages(&mut self, msgs: Vec<ClientMessage>) {
+        for m in msgs {
+            self.send_logged(m);
+        }
+    }
+
+    /// Severs the TCP connection abruptly, as a cable pull or crashed
+    /// process would. The next [`pump_once`](Self::pump_once) detects
+    /// the break and runs the reconnect/resume path.
+    pub fn kill_socket(&self) {
+        let _ = self.sock.stream().shutdown(Shutdown::Both);
+    }
+
+    /// One poll cycle: read what arrived, decode frames, feed the proxy,
+    /// send its replies. Detects connection breaks and recovers them
+    /// (reconnect + incremental resume) transparently.
+    ///
+    /// Returns `true` when at least one server frame was processed.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Stalled`] when the gateway stayed unreachable for
+    /// the whole backoff budget; [`GatewayError::Protocol`] on an
+    /// undecodable (hostile) byte stream.
+    pub fn pump_once(&mut self) -> Result<bool, GatewayError> {
+        if let Some(k) = self.cfg.keepalive {
+            if self.last_send.elapsed() > k && self.proxy.is_connected() {
+                let ka = ClientMessage::UpdateRequest {
+                    incremental: true,
+                    rect: self
+                        .proxy
+                        .server_frame()
+                        .map(|f| f.bounds())
+                        .unwrap_or(uniint_raster::geom::Rect::EMPTY),
+                };
+                self.send_logged(ka);
+            }
+        }
+        match self.sock.fill() {
+            Ok(ReadStatus::Idle) => Ok(false),
+            Ok(ReadStatus::Eof) | Err(_) => {
+                self.reconnect()?;
+                Ok(false)
+            }
+            Ok(ReadStatus::Data(_)) => {
+                let mut processed = false;
+                loop {
+                    match self.sock.next_frame() {
+                        Ok(Some(frame)) => {
+                            processed = true;
+                            let msg = ServerMessage::decode_body(&mut frame.as_slice())?;
+                            if let ServerMessage::ResumeAck {
+                                client_msgs_received,
+                                ..
+                            } = &msg
+                            {
+                                self.on_resume_ack(*client_msgs_received);
+                            }
+                            let out = self.proxy.handle_server(&msg)?;
+                            if let Some(f) = out.frame {
+                                self.last_frame = Some(f);
+                                self.frames_delivered += 1;
+                            }
+                            if out.bell {
+                                self.bells += 1;
+                            }
+                            for m in out.messages {
+                                self.send_logged(m);
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                Ok(processed)
+            }
+        }
+    }
+
+    /// Pumps continuously for (at least) `dur` wall-clock time.
+    pub fn pump_for(&mut self, dur: Duration) -> Result<(), GatewayError> {
+        let deadline = Instant::now() + dur;
+        while Instant::now() < deadline {
+            self.pump_once()?;
+        }
+        Ok(())
+    }
+
+    /// Sends one message and appends it to the retransmission log.
+    ///
+    /// Write errors are deliberately swallowed: the message *is* logged,
+    /// the broken socket surfaces as EOF on the next read, and the
+    /// resume handshake retransmits everything the server never saw.
+    fn send_logged(&mut self, m: ClientMessage) {
+        let _ = self.sock.send_client(&m);
+        self.last_send = Instant::now();
+        self.client_log.push(m);
+    }
+
+    /// Sends without logging — reserved for the reattach `Hello` and
+    /// `Resume`, which the server excludes from its received count.
+    fn send_raw(&mut self, m: &ClientMessage) {
+        let _ = self.sock.send_client(m);
+        self.last_send = Instant::now();
+    }
+
+    /// Re-establishes TCP under exponential backoff + seeded jitter,
+    /// then reattaches the protocol session (incremental resume when a
+    /// handshake had completed, fresh Hello otherwise).
+    fn reconnect(&mut self) -> Result<(), GatewayError> {
+        self.proxy.record_stall();
+        let mut delay = self.cfg.backoff_base;
+        let mut attempts = 0u32;
+        let stream = loop {
+            if attempts >= self.cfg.max_attempts {
+                return Err(GatewayError::Stalled { attempts });
+            }
+            attempts += 1;
+            self.proxy.record_backoff_attempt();
+            let jitter_us = self
+                .backoff_rng
+                .gen_range(0..=(delay.as_micros() as u64) / 4);
+            std::thread::sleep(delay + Duration::from_micros(jitter_us));
+            match TcpStream::connect(self.addr) {
+                Ok(s) => break s,
+                Err(_) => delay = (delay * 2).min(self.cfg.backoff_cap),
+            }
+        };
+        // A fresh FramedSocket also discards any half-received frame
+        // from the dead connection.
+        self.sock = FramedSocket::new(stream, self.cfg.max_frame, self.cfg.poll)?;
+        if !self.proxy.is_connected() {
+            // The break beat the handshake: nothing to resume.
+            self.client_log.clear();
+            self.log_offset = 0;
+            for m in self.proxy.connect() {
+                self.send_logged(m);
+            }
+            return Ok(());
+        }
+        self.send_raw(&ClientMessage::Hello {
+            version: PROTOCOL_VERSION,
+            name: self.name.clone(),
+        });
+        let resume = self.proxy.make_resume();
+        self.send_raw(&resume);
+        Ok(())
+    }
+
+    /// Reacts to the server's resume handshake: retransmits, in original
+    /// order, every logged message the server reports missing.
+    fn on_resume_ack(&mut self, client_msgs_received: u64) {
+        let start = client_msgs_received.saturating_sub(self.log_offset) as usize;
+        let missing: Vec<ClientMessage> = match self.client_log.get(start..) {
+            Some(tail) => tail.to_vec(),
+            None => Vec::new(),
+        };
+        self.proxy.record_retransmits(missing.len() as u64);
+        for m in &missing {
+            // Already logged the first time around.
+            self.send_raw(m);
+        }
+        if start > 0 {
+            self.client_log.drain(..start.min(self.client_log.len()));
+            self.log_offset = client_msgs_received.min(self.log_offset + start as u64);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The socket frame codec shared by the gateway host and client ends.
+//!
+//! Frames on the wire are exactly the protocol's native framing —
+//! `[u32 body_len][body]` — reassembled by
+//! [`uniint_protocol::message::FrameReader`] with a **configurable
+//! max-frame-size bound** enforced before any allocation, so a hostile
+//! or corrupted peer cannot make either end reserve memory for a length
+//! field it invented. On top of that the codec applies the
+//! protocol-version check every `Hello` must pass before a session is
+//! admitted.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use uniint_protocol::error::{ProtocolError, Result as ProtocolResult};
+use uniint_protocol::message::{
+    encode_client, encode_server, ClientMessage, FrameReader, ServerMessage, PROTOCOL_VERSION,
+};
+
+/// Default max frame size a gateway end accepts from an untrusted peer
+/// (1 MiB — far above any real panel update, far below the 8 MiB
+/// protocol ceiling).
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Outcome of one non-blocking read attempt on a [`FramedSocket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// `n` fresh bytes were buffered; pull frames with
+    /// [`FramedSocket::next_frame`].
+    Data(usize),
+    /// Nothing arrived within the poll interval.
+    Idle,
+    /// The peer closed the connection cleanly.
+    Eof,
+}
+
+/// Validates the version carried by a `Hello`.
+///
+/// Version 0 is garbage (the protocol starts at 1) and a version newer
+/// than ours cannot be trusted to degrade; both are rejected with
+/// [`ProtocolError::UnsupportedVersion`] so the caller can refuse the
+/// session before any state is allocated for it.
+pub fn check_hello_version(version: u16) -> ProtocolResult<()> {
+    if version == 0 || version > PROTOCOL_VERSION {
+        return Err(ProtocolError::UnsupportedVersion {
+            requested: version,
+            supported: PROTOCOL_VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// A TCP stream with protocol framing on both directions.
+///
+/// Reads are polled: the socket runs with a short read timeout so the
+/// owning thread can interleave reads with shutdown checks and idle
+/// accounting instead of blocking forever.
+#[derive(Debug)]
+pub struct FramedSocket {
+    stream: TcpStream,
+    reader: FrameReader,
+    buf: Vec<u8>,
+}
+
+impl FramedSocket {
+    /// Wraps `stream`, disabling Nagle (frames are latency-sensitive)
+    /// and installing `poll` as the read timeout.
+    pub fn new(
+        stream: TcpStream,
+        max_frame: usize,
+        poll: Duration,
+    ) -> std::io::Result<FramedSocket> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(poll))?;
+        Ok(FramedSocket {
+            stream,
+            reader: FrameReader::with_max_body(max_frame),
+            buf: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// The underlying stream (for `shutdown`, `peer_addr`...).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Encodes and writes one client→server message; returns the frame
+    /// size in bytes.
+    pub fn send_client(&mut self, msg: &ClientMessage) -> std::io::Result<usize> {
+        let bytes = encode_client(msg);
+        self.stream.write_all(&bytes)?;
+        Ok(bytes.len())
+    }
+
+    /// Encodes and writes one server→client message; returns the frame
+    /// size in bytes.
+    pub fn send_server(&mut self, msg: &ServerMessage) -> std::io::Result<usize> {
+        let bytes = encode_server(msg);
+        self.stream.write_all(&bytes)?;
+        Ok(bytes.len())
+    }
+
+    /// Writes pre-encoded frame bytes.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Attempts one read from the socket, feeding whatever arrives into
+    /// the frame reassembler. Timeouts are reported as
+    /// [`ReadStatus::Idle`], not errors.
+    pub fn fill(&mut self) -> std::io::Result<ReadStatus> {
+        match self.stream.read(&mut self.buf) {
+            Ok(0) => Ok(ReadStatus::Eof),
+            Ok(n) => {
+                self.reader.feed(&self.buf[..n]);
+                Ok(ReadStatus::Data(n))
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                Ok(ReadStatus::Idle)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(ReadStatus::Idle),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Extracts the next complete frame body, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::FrameTooLarge`] when the peer declares a frame
+    /// beyond the configured bound; the connection should be dropped.
+    pub fn next_frame(&mut self) -> ProtocolResult<Option<Vec<u8>>> {
+        self.reader.next_frame()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn hello_version_policy() {
+        assert!(check_hello_version(0).is_err());
+        assert!(check_hello_version(PROTOCOL_VERSION).is_ok());
+        assert!(matches!(
+            check_hello_version(PROTOCOL_VERSION + 1),
+            Err(ProtocolError::UnsupportedVersion { requested, supported })
+                if requested == PROTOCOL_VERSION + 1 && supported == PROTOCOL_VERSION
+        ));
+    }
+
+    #[test]
+    fn frames_cross_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            let mut fs =
+                FramedSocket::new(sock, DEFAULT_MAX_FRAME, Duration::from_millis(20)).unwrap();
+            loop {
+                match fs.fill().unwrap() {
+                    ReadStatus::Data(_) => {
+                        if let Some(frame) = fs.next_frame().unwrap() {
+                            let msg = ClientMessage::decode_body(&mut frame.as_slice()).unwrap();
+                            assert_eq!(msg, ClientMessage::CutText("over tcp".into()));
+                            fs.send_server(&ServerMessage::Bell).unwrap();
+                            return;
+                        }
+                    }
+                    ReadStatus::Idle => {}
+                    ReadStatus::Eof => panic!("peer closed early"),
+                }
+            }
+        });
+        let sock = TcpStream::connect(addr).unwrap();
+        let mut fs = FramedSocket::new(sock, DEFAULT_MAX_FRAME, Duration::from_millis(20)).unwrap();
+        fs.send_client(&ClientMessage::CutText("over tcp".into()))
+            .unwrap();
+        loop {
+            match fs.fill().unwrap() {
+                ReadStatus::Data(_) => {
+                    if let Some(frame) = fs.next_frame().unwrap() {
+                        let msg = ServerMessage::decode_body(&mut frame.as_slice()).unwrap();
+                        assert_eq!(msg, ServerMessage::Bell);
+                        break;
+                    }
+                }
+                ReadStatus::Idle => {}
+                ReadStatus::Eof => panic!("peer closed early"),
+            }
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_by_the_bound() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            // A declared 1 GiB body: only the length prefix ever ships.
+            sock.write_all(&(1u32 << 30).to_be_bytes()).unwrap();
+            sock
+        });
+        let sock = TcpStream::connect(addr).unwrap();
+        let mut fs = FramedSocket::new(sock, 4096, Duration::from_millis(20)).unwrap();
+        let _keep = t.join().unwrap();
+        loop {
+            match fs.fill().unwrap() {
+                ReadStatus::Data(_) => {
+                    assert!(matches!(
+                        fs.next_frame(),
+                        Err(ProtocolError::FrameTooLarge { .. })
+                    ));
+                    return;
+                }
+                ReadStatus::Idle => {}
+                ReadStatus::Eof => panic!("expected the length prefix first"),
+            }
+        }
+    }
+}

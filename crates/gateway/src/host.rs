@@ -1,0 +1,759 @@
+//! The concurrent connection host: one appliance panel served to many
+//! real TCP clients.
+//!
+//! Thread layout (all plain `std::thread`, no async runtime):
+//!
+//! ```text
+//!            accept thread ──spawns──► reader thread (per conn)
+//!                                      writer thread (per conn)
+//!                   │                        │          ▲
+//!                   ▼         events        ▼          │ bounded OutQueue
+//!              state thread ◄────────────────          │
+//!          (owns Ui + MultiServer) ─────────────────────
+//! ```
+//!
+//! Every reader forwards decoded [`ClientMessage`]s into one unbounded
+//! channel; the single state thread owns the [`Ui`] and the
+//! [`MultiServer`] so protocol handling stays strictly serialized — the
+//! concurrency lives at the sockets, not in the session logic. Outbound
+//! traffic flows through a **bounded** per-connection [`OutQueue`]: when
+//! a slow client falls behind, consecutive `Update`s coalesce into one
+//! (their damage rectangles concatenate, exactly like server-side damage
+//! merging), and a client that cannot even keep up with that is dropped
+//! rather than allowed to buffer the gateway into the ground.
+//!
+//! Reconnects are handled by *session adoption*: sessions are keyed by
+//! the client name from `Hello`. A `Hello` for a known name followed by
+//! `Resume` re-binds the existing server session — with its damage
+//! account and send log intact — to the new socket, so the resume is
+//! incremental instead of a full refresh.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use uniint_core::multi::{ClientId, MultiServer};
+use uniint_protocol::message::{encode_server, ClientMessage, ServerMessage};
+use uniint_telemetry::registry::{Counter, Gauge, Registry};
+use uniint_wsys::ui::Ui;
+
+use crate::codec::{check_hello_version, FramedSocket, ReadStatus, DEFAULT_MAX_FRAME};
+
+/// Identifies one TCP connection. Not the same as a session: a session
+/// survives reconnects, a connection does not.
+pub type ConnId = usize;
+
+/// Tuning knobs for a [`Gateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Largest frame accepted from a client, bytes. Frames declaring
+    /// more are rejected before allocation and the connection dropped.
+    pub max_frame: usize,
+    /// Outbound queue capacity per connection, messages. A client that
+    /// stays this far behind even after update coalescing is dropped.
+    pub max_queue: usize,
+    /// Drop a connection after this long without a single byte from it.
+    /// `None` disables the idle check (the default).
+    pub idle_timeout: Option<Duration>,
+    /// How long the state thread waits for an event before running a
+    /// housekeeping pass (application tick + damage pump).
+    pub tick: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            max_queue: 64,
+            idle_timeout: None,
+            tick: Duration::from_millis(10),
+        }
+    }
+}
+
+/// What [`OutQueue`]'s push did with a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pushed {
+    /// Appended as a new entry.
+    Queued,
+    /// Folded into the `Update` already at the tail.
+    Coalesced,
+    /// Queue was full and the message could not coalesce: the queue is
+    /// now closed and the connection must be dropped.
+    Overflow,
+    /// Queue already closed; message discarded.
+    Closed,
+}
+
+/// A bounded, coalescing outbound message queue (one per connection).
+///
+/// Built on `Mutex` + `Condvar` because the vendored channel offers no
+/// bounded variant — and a hand-rolled queue is what lets pending
+/// updates coalesce in place instead of blindly buffering.
+#[derive(Debug)]
+pub struct OutQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    items: VecDeque<ServerMessage>,
+    closed: bool,
+}
+
+impl OutQueue {
+    fn new(cap: usize) -> OutQueue {
+        OutQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues `msg`, coalescing consecutive `Update`s: if the tail of
+    /// the queue is an `Update` in the same pixel format, the new rects
+    /// are appended to it and the sequence advances to the newer one.
+    /// Applying the merged update is pixel-identical to applying both in
+    /// order, and ordering relative to `Resize`/`Bell` is preserved
+    /// because only the *tail* merges.
+    fn push(&self, msg: ServerMessage) -> Pushed {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        if q.closed {
+            return Pushed::Closed;
+        }
+        if let ServerMessage::Update { seq, format, rects } = &msg {
+            if let Some(ServerMessage::Update {
+                seq: tail_seq,
+                format: tail_format,
+                rects: tail_rects,
+            }) = q.items.back_mut()
+            {
+                if tail_format == format {
+                    tail_rects.extend(rects.iter().cloned());
+                    *tail_seq = (*tail_seq).max(*seq);
+                    self.ready.notify_one();
+                    return Pushed::Coalesced;
+                }
+            }
+        }
+        if q.items.len() >= self.cap {
+            q.closed = true;
+            q.items.clear();
+            self.ready.notify_all();
+            return Pushed::Overflow;
+        }
+        q.items.push_back(msg);
+        self.ready.notify_one();
+        Pushed::Queued
+    }
+
+    /// Blocks up to `timeout` for the next message. `Ok(None)` means the
+    /// timeout elapsed; `Err(())` means closed and drained (writer done).
+    #[allow(clippy::result_unit_err)]
+    fn pop(&self, timeout: Duration) -> Result<Option<ServerMessage>, ()> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(m) = q.items.pop_front() {
+                return Ok(Some(m));
+            }
+            if q.closed {
+                return Err(());
+            }
+            let (guard, res) = self.ready.wait_timeout(q, timeout).expect("queue poisoned");
+            q = guard;
+            if res.timed_out() {
+                return match q.items.pop_front() {
+                    Some(m) => Ok(Some(m)),
+                    None if q.closed => Err(()),
+                    None => Ok(None),
+                };
+            }
+        }
+    }
+
+    /// Closes the queue; the writer drains what is left and exits.
+    fn close(&self) {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        q.closed = true;
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+}
+
+/// Events flowing from accept/reader threads into the state thread.
+#[derive(Debug)]
+enum Event {
+    /// A socket connected; its writer listens on the queue.
+    Connected(ConnId, Arc<OutQueue>),
+    /// One decoded message from a connection.
+    Msg(ConnId, ClientMessage),
+    /// Socket gone (EOF, error, idle timeout, oversized frame...).
+    Disconnected(ConnId),
+    /// Orderly gateway shutdown.
+    Shutdown,
+}
+
+/// Counters the state thread maintains (socket-side counters live in
+/// the reader/writer threads and share the registry by name).
+struct StateMetrics {
+    reconnects: Counter,
+    resumes: Counter,
+    rejected_version: Counter,
+    decode_errors: Counter,
+    dropped_connections: Counter,
+    write_coalesced: Counter,
+    queue_depth: Gauge,
+}
+
+impl StateMetrics {
+    fn new(r: &Registry) -> StateMetrics {
+        StateMetrics {
+            reconnects: r.counter("gateway.reconnects"),
+            resumes: r.counter("gateway.resumes"),
+            rejected_version: r.counter("gateway.rejected_version"),
+            decode_errors: r.counter("gateway.decode_errors"),
+            dropped_connections: r.counter("gateway.dropped_connections"),
+            write_coalesced: r.counter("gateway.write_coalesced"),
+            queue_depth: r.gauge("gateway.queue_depth"),
+        }
+    }
+}
+
+/// Per-connection bookkeeping inside the state thread.
+struct Conn {
+    queue: Arc<OutQueue>,
+    session: Option<ClientId>,
+    /// A `Hello` for an already-known name, held back until the next
+    /// message disambiguates reconnect (`Resume` follows) from a fresh
+    /// client reusing the name (anything else follows).
+    pending_hello: Option<ClientMessage>,
+}
+
+/// A running gateway: an appliance panel listening on a TCP port.
+///
+/// Created with [`Gateway::spawn`]; the panel [`Ui`] moves into the
+/// state thread and comes back out of [`Gateway::shutdown`].
+#[derive(Debug)]
+pub struct Gateway {
+    addr: SocketAddr,
+    registry: Registry,
+    stop: Arc<AtomicBool>,
+    events: Sender<Event>,
+    accept_handle: Option<JoinHandle<()>>,
+    state_handle: Option<JoinHandle<Ui>>,
+    io_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Gateway {
+    /// Binds `127.0.0.1:0` (ephemeral port) and starts serving `ui`.
+    pub fn spawn(ui: Ui, config: GatewayConfig, registry: Registry) -> io::Result<Gateway> {
+        Gateway::spawn_with_tick(ui, config, registry, Box::new(|_| {}))
+    }
+
+    /// Like [`spawn`](Gateway::spawn), with an application tick closure
+    /// run by the state thread between events — the appliance's own
+    /// logic (clocks, sensor readouts) mutating the panel it serves.
+    pub fn spawn_with_tick(
+        ui: Ui,
+        config: GatewayConfig,
+        registry: Registry,
+        tick: Box<dyn FnMut(&mut Ui) + Send>,
+    ) -> io::Result<Gateway> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = unbounded::<Event>();
+        let io_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let stop = stop.clone();
+            let tx = tx.clone();
+            let io_handles = io_handles.clone();
+            let cfg = config.clone();
+            let registry = registry.clone();
+            std::thread::Builder::new()
+                .name("gw-accept".into())
+                .spawn(move || accept_loop(listener, stop, tx, io_handles, cfg, registry))?
+        };
+
+        let state_handle = {
+            let cfg = config.clone();
+            let registry = registry.clone();
+            std::thread::Builder::new()
+                .name("gw-state".into())
+                .spawn(move || state_loop(ui, rx, cfg, registry, tick))?
+        };
+
+        Ok(Gateway {
+            addr,
+            registry,
+            stop,
+            events: tx,
+            accept_handle: Some(accept_handle),
+            state_handle: Some(state_handle),
+            io_handles,
+        })
+    }
+
+    /// The address clients connect to (loopback, ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry all gateway and per-session counters land in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Stops every thread, closes every connection and returns the
+    /// panel [`Ui`] in its final state.
+    pub fn shutdown(mut self) -> Ui {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.events.send(Event::Shutdown);
+        let ui = self
+            .state_handle
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("state thread never panics");
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.io_handles.lock().expect("io handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+        ui
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    tx: Sender<Event>,
+    io_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    cfg: GatewayConfig,
+    registry: Registry,
+) {
+    let next_id = AtomicUsize::new(0);
+    let accepted = registry.counter("gateway.accepted");
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let id = next_id.fetch_add(1, Ordering::SeqCst);
+                accepted.inc();
+                match spawn_conn(id, stream, &stop, &tx, &cfg, &registry) {
+                    Ok(mut handles) => {
+                        io_handles
+                            .lock()
+                            .expect("io handles poisoned")
+                            .append(&mut handles);
+                    }
+                    Err(_) => {
+                        let _ = tx.send(Event::Disconnected(id));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Starts the reader and writer threads for one accepted socket.
+fn spawn_conn(
+    id: ConnId,
+    stream: TcpStream,
+    stop: &Arc<AtomicBool>,
+    tx: &Sender<Event>,
+    cfg: &GatewayConfig,
+    registry: &Registry,
+) -> io::Result<Vec<JoinHandle<()>>> {
+    let queue = Arc::new(OutQueue::new(cfg.max_queue));
+    let write_half = stream.try_clone()?;
+    let mut sock = FramedSocket::new(stream, cfg.max_frame, Duration::from_millis(20))?;
+    let _ = tx.send(Event::Connected(id, queue.clone()));
+
+    let reader = {
+        let stop = stop.clone();
+        let tx = tx.clone();
+        let queue = queue.clone();
+        let idle_timeout = cfg.idle_timeout;
+        let frames_in = registry.counter("gateway.frames_in");
+        let bytes_in = registry.counter("gateway.bytes_in");
+        let decode_errors = registry.counter("gateway.decode_errors");
+        std::thread::Builder::new()
+            .name(format!("gw-read-{id}"))
+            .spawn(move || {
+                let mut last_byte = Instant::now();
+                'conn: loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match sock.fill() {
+                        Ok(ReadStatus::Eof) | Err(_) => break,
+                        Ok(ReadStatus::Idle) => {
+                            if let Some(limit) = idle_timeout {
+                                if last_byte.elapsed() > limit {
+                                    break;
+                                }
+                            }
+                            continue;
+                        }
+                        Ok(ReadStatus::Data(n)) => {
+                            last_byte = Instant::now();
+                            bytes_in.add(n as u64);
+                        }
+                    }
+                    loop {
+                        match sock.next_frame() {
+                            Ok(Some(frame)) => {
+                                match ClientMessage::decode_body(&mut frame.as_slice()) {
+                                    Ok(msg) => {
+                                        frames_in.inc();
+                                        let _ = tx.send(Event::Msg(id, msg));
+                                    }
+                                    Err(_) => {
+                                        decode_errors.inc();
+                                        break 'conn;
+                                    }
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Oversized or corrupt framing: the peer
+                                // is hostile or broken either way.
+                                decode_errors.inc();
+                                break 'conn;
+                            }
+                        }
+                    }
+                }
+                queue.close();
+                let _ = tx.send(Event::Disconnected(id));
+            })?
+    };
+
+    let writer = {
+        let queue = queue.clone();
+        let bytes_out = registry.counter("gateway.bytes_out");
+        std::thread::Builder::new()
+            .name(format!("gw-write-{id}"))
+            .spawn(move || {
+                use std::io::Write;
+                let mut out = write_half;
+                loop {
+                    match queue.pop(Duration::from_millis(50)) {
+                        Ok(Some(msg)) => {
+                            let bytes = encode_server(&msg);
+                            if out.write_all(&bytes).is_err() {
+                                queue.close();
+                                break;
+                            }
+                            bytes_out.add(bytes.len() as u64);
+                        }
+                        Ok(None) => {}
+                        Err(()) => break,
+                    }
+                }
+                // Waking the reader (EOF) is what turns "writer gave up"
+                // into a full disconnect.
+                let _ = out.shutdown(std::net::Shutdown::Both);
+            })?
+    };
+
+    Ok(vec![reader, writer])
+}
+
+/// The whole mutable world of the state thread.
+struct State {
+    multi: MultiServer,
+    conns: HashMap<ConnId, Conn>,
+    /// Session bindings survive their sockets: name → session...
+    names: HashMap<String, ClientId>,
+    /// ...and which socket (if any) a session's output currently goes to.
+    attached: HashMap<ClientId, ConnId>,
+    metrics: StateMetrics,
+    registry: Registry,
+}
+
+/// The single thread owning the panel and all protocol sessions.
+fn state_loop(
+    mut ui: Ui,
+    rx: Receiver<Event>,
+    cfg: GatewayConfig,
+    registry: Registry,
+    mut tick: Box<dyn FnMut(&mut Ui) + Send>,
+) -> Ui {
+    let mut st = State {
+        multi: MultiServer::new(),
+        conns: HashMap::new(),
+        names: HashMap::new(),
+        attached: HashMap::new(),
+        metrics: StateMetrics::new(&registry),
+        registry,
+    };
+
+    loop {
+        let first = match rx.recv_timeout(cfg.tick) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut stop = false;
+        for ev in first.into_iter().chain(rx.try_iter()) {
+            match ev {
+                Event::Connected(id, queue) => {
+                    st.conns.insert(
+                        id,
+                        Conn {
+                            queue,
+                            session: None,
+                            pending_hello: None,
+                        },
+                    );
+                }
+                Event::Msg(id, msg) => st.handle_msg(&mut ui, id, msg),
+                Event::Disconnected(id) => st.drop_conn(id),
+                Event::Shutdown => stop = true,
+            }
+        }
+        if stop {
+            break;
+        }
+        tick(&mut ui);
+        let batches = st.multi.pump_all(&mut ui);
+        st.route_batches(batches);
+    }
+
+    for conn in st.conns.values() {
+        conn.queue.close();
+    }
+    ui
+}
+
+impl State {
+    /// Unbinds a dead socket. Its *session* stays alive: damage keeps
+    /// accumulating in the server session (bounded by the screen area),
+    /// so the same client name can come back and resume incrementally.
+    fn drop_conn(&mut self, id: ConnId) {
+        if let Some(conn) = self.conns.remove(&id) {
+            conn.queue.close();
+            if let Some(sid) = conn.session {
+                if self.attached.get(&sid) == Some(&id) {
+                    self.attached.remove(&sid);
+                }
+            }
+        }
+    }
+
+    /// Applies one client message: version policy, name-keyed session
+    /// adoption, then normal protocol dispatch into the [`MultiServer`].
+    fn handle_msg(&mut self, ui: &mut Ui, id: ConnId, msg: ClientMessage) {
+        if !self.conns.contains_key(&id) {
+            return;
+        }
+
+        // A held-back Hello resolves on the very next message.
+        let held = self
+            .conns
+            .get_mut(&id)
+            .expect("checked")
+            .pending_hello
+            .take();
+        if let Some(hello) = held {
+            let ClientMessage::Hello { ref name, .. } = hello else {
+                unreachable!("only Hello is ever held back");
+            };
+            if matches!(msg, ClientMessage::Resume { .. }) {
+                // Reconnect: adopt the existing session wholesale. The
+                // Hello is deliberately *not* forwarded — a Hello resets
+                // server-side session state, which is exactly what an
+                // incremental resume must avoid.
+                let sid = *self.names.get(name).expect("held Hello implies known name");
+                if let Some(old) = self.attached.insert(sid, id) {
+                    if old != id {
+                        if let Some(stale) = self.conns.get(&old) {
+                            stale.queue.close();
+                        }
+                    }
+                }
+                self.conns.get_mut(&id).expect("checked").session = Some(sid);
+                self.metrics.reconnects.inc();
+                self.registry
+                    .journal()
+                    .record("gateway.reconnect", name.clone());
+            } else {
+                // A fresh client reusing a known name: the old session
+                // is abandoned in its favour.
+                let sid = self.multi.accept_with_telemetry(ui, self.registry.clone());
+                if let Some(old_sid) = self.names.insert(name.clone(), sid) {
+                    if let Some(old_conn) = self.attached.remove(&old_sid) {
+                        if old_conn != id {
+                            if let Some(stale) = self.conns.get(&old_conn) {
+                                stale.queue.close();
+                            }
+                        }
+                    }
+                    self.multi.disconnect(old_sid);
+                }
+                self.attached.insert(sid, id);
+                self.conns.get_mut(&id).expect("checked").session = Some(sid);
+                let replies = self.multi.handle_message(ui, sid, hello);
+                self.push_to(id, replies);
+            }
+            // Fall through: `msg` itself is processed below.
+        }
+
+        let session = self.conns.get(&id).and_then(|c| c.session);
+        match (&msg, session) {
+            (ClientMessage::Hello { version, name }, _) => {
+                if check_hello_version(*version).is_err() {
+                    self.metrics.rejected_version.inc();
+                    self.registry
+                        .journal()
+                        .record("gateway.rejected_version", format!("{name}: v{version}"));
+                    self.conns[&id].queue.close();
+                    return;
+                }
+                if self.names.contains_key(name) {
+                    // Known name: reconnect or collision? The next
+                    // message tells (Resume means reconnect).
+                    self.conns.get_mut(&id).expect("checked").pending_hello = Some(msg);
+                    return;
+                }
+                let sid = self.multi.accept_with_telemetry(ui, self.registry.clone());
+                self.names.insert(name.clone(), sid);
+                self.attached.insert(sid, id);
+                self.conns.get_mut(&id).expect("checked").session = Some(sid);
+                let replies = self.multi.handle_message(ui, sid, msg);
+                self.push_to(id, replies);
+            }
+            (_, Some(sid)) => {
+                if matches!(msg, ClientMessage::Resume { .. }) {
+                    self.metrics.resumes.inc();
+                }
+                let replies = self.multi.handle_message(ui, sid, msg);
+                self.push_to(id, replies);
+            }
+            (_, None) => {
+                // Message before any Hello: protocol abuse, drop the peer.
+                self.metrics.decode_errors.inc();
+                self.conns[&id].queue.close();
+            }
+        }
+    }
+
+    fn push_to(&mut self, id: ConnId, replies: Vec<ServerMessage>) {
+        let Some(conn) = self.conns.get(&id) else {
+            return;
+        };
+        for r in replies {
+            match conn.queue.push(r) {
+                Pushed::Coalesced => self.metrics.write_coalesced.inc(),
+                Pushed::Overflow => {
+                    self.metrics.dropped_connections.inc();
+                    break;
+                }
+                Pushed::Queued | Pushed::Closed => {}
+            }
+        }
+        self.metrics.queue_depth.set(conn.queue.depth() as i64);
+    }
+
+    fn route_batches(&mut self, batches: Vec<(ClientId, Vec<ServerMessage>)>) {
+        for (sid, msgs) in batches {
+            let Some(id) = self.attached.get(&sid).copied() else {
+                // Session currently detached: its updates stay as damage
+                // inside the server session until the name resumes.
+                continue;
+            };
+            self.push_to(id, msgs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniint_protocol::message::RectUpdate;
+    use uniint_raster::geom::Rect;
+    use uniint_raster::pixel::PixelFormat;
+
+    fn update(seq: u64, x: i32) -> ServerMessage {
+        ServerMessage::Update {
+            seq,
+            format: PixelFormat::Rgb888,
+            rects: vec![RectUpdate {
+                rect: Rect::new(x, 0, 1, 1),
+                encoding: uniint_protocol::encoding::Encoding::Raw,
+                payload: vec![0, 0, 0],
+            }],
+        }
+    }
+
+    #[test]
+    fn queue_coalesces_consecutive_updates() {
+        let q = OutQueue::new(4);
+        assert_eq!(q.push(update(1, 0)), Pushed::Queued);
+        assert_eq!(q.push(update(2, 1)), Pushed::Coalesced);
+        assert_eq!(q.push(update(3, 2)), Pushed::Coalesced);
+        assert_eq!(q.depth(), 1);
+        let m = q.pop(Duration::from_millis(1)).unwrap().unwrap();
+        match m {
+            ServerMessage::Update { seq, rects, .. } => {
+                assert_eq!(seq, 3, "merged update carries the newest seq");
+                assert_eq!(rects.len(), 3, "all damage retained in order");
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_does_not_merge_across_interleaved_messages() {
+        // Update / Resize / Update must stay three messages: merging the
+        // second update into the first would replay its rects *before*
+        // the resize that invalidated the old geometry.
+        let q = OutQueue::new(4);
+        q.push(update(1, 0));
+        q.push(ServerMessage::Resize {
+            width: 10,
+            height: 10,
+        });
+        assert_eq!(q.push(update(2, 1)), Pushed::Queued);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn queue_overflow_closes() {
+        let q = OutQueue::new(2);
+        assert_eq!(q.push(ServerMessage::Bell), Pushed::Queued);
+        assert_eq!(q.push(ServerMessage::Bell), Pushed::Queued);
+        assert_eq!(q.push(ServerMessage::Bell), Pushed::Overflow);
+        assert_eq!(q.push(ServerMessage::Bell), Pushed::Closed);
+        assert!(q.pop(Duration::from_millis(1)).is_err(), "closed + drained");
+    }
+
+    #[test]
+    fn queue_pop_times_out_empty() {
+        let q = OutQueue::new(2);
+        assert_eq!(q.pop(Duration::from_millis(5)), Ok(None));
+    }
+}

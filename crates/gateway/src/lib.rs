@@ -1,0 +1,54 @@
+//! # uniint-gateway
+//!
+//! The real-network deployment boundary the paper assumes: UniInt
+//! server and proxies as **separate OS processes** on an actual home
+//! network, talking over TCP sockets instead of in-process pipes or the
+//! discrete-event simulator.
+//!
+//! Four layers, bottom up:
+//!
+//! - [`codec`] — the length-prefixed frame codec shared by both ends:
+//!   a hard max-frame-size bound enforced before allocation, and the
+//!   protocol-version check applied to every `Hello`;
+//! - [`host`] — the concurrent connection host ([`host::Gateway`]):
+//!   one accept thread, one reader + one writer thread per connection
+//!   with a **bounded** outbound queue (pending `Update`s for a slow
+//!   client coalesce into one instead of buffering without bound), and
+//!   a single state thread driving a shared
+//!   [`uniint_core::multi::MultiServer`] so a TV proxy and a phone
+//!   proxy on real sockets watch one panel concurrently;
+//! - [`client`] — the connection lifecycle ([`client::GatewayClient`]):
+//!   stall detection, seeded exponential backoff on reconnect, and
+//!   incremental `Resume` so a proxy that loses TCP mid-update comes
+//!   back without a full refresh;
+//! - telemetry — every layer registers counters/gauges in a
+//!   [`uniint_telemetry::registry::Registry`], so one snapshot covers
+//!   the network edge too.
+//!
+//! ```no_run
+//! use uniint_gateway::prelude::*;
+//! use uniint_telemetry::registry::Registry;
+//! use uniint_wsys::prelude::{Button, Theme, Ui};
+//! use uniint_raster::geom::Rect;
+//!
+//! let mut ui = Ui::new(160, 120, Theme::classic(), "panel");
+//! ui.add(Button::new("Power"), Rect::new(20, 20, 80, 24));
+//! let gw = Gateway::spawn(ui, GatewayConfig::default(), Registry::new()).unwrap();
+//! let mut client = GatewayClient::connect(gw.local_addr(), "phone-proxy", 7).unwrap();
+//! assert!(client.proxy.is_connected());
+//! let _panel = gw.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod host;
+
+/// Convenient re-exports of the gateway surface.
+pub mod prelude {
+    pub use crate::client::{ClientConfig, GatewayClient, GatewayError};
+    pub use crate::codec::{check_hello_version, FramedSocket};
+    pub use crate::host::{Gateway, GatewayConfig};
+}

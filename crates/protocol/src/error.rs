@@ -33,6 +33,16 @@ pub enum ProtocolError {
         /// The offending area in pixels.
         area: u64,
     },
+    /// A frame, string or blob whose declared length exceeds the
+    /// receiver's configured bound. Raised *before* any allocation, so an
+    /// untrusted peer cannot make the decoder reserve memory it will
+    /// never receive.
+    FrameTooLarge {
+        /// The declared length, bytes.
+        declared: u64,
+        /// The receiver's configured maximum, bytes.
+        max: u64,
+    },
 }
 
 impl core::fmt::Display for ProtocolError {
@@ -56,6 +66,9 @@ impl core::fmt::Display for ProtocolError {
             }
             ProtocolError::OversizedRect { area } => {
                 write!(f, "rectangle of {area} pixels exceeds sanity limit")
+            }
+            ProtocolError::FrameTooLarge { declared, max } => {
+                write!(f, "declared length {declared} exceeds receiver bound {max}")
             }
         }
     }

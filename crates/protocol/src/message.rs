@@ -446,15 +446,37 @@ impl ServerMessage {
 /// let msg = ClientMessage::decode_body(&mut frame.as_slice()).unwrap();
 /// assert_eq!(msg, ClientMessage::CutText("hi".into()));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameReader {
     buf: BytesMut,
+    max_body: usize,
+}
+
+impl Default for FrameReader {
+    fn default() -> FrameReader {
+        FrameReader::new()
+    }
 }
 
 impl FrameReader {
-    /// Creates an empty reader.
+    /// Creates an empty reader bounded by [`MAX_BODY`].
     pub fn new() -> FrameReader {
-        FrameReader::default()
+        FrameReader::with_max_body(MAX_BODY)
+    }
+
+    /// Creates an empty reader with a caller-chosen frame-size bound —
+    /// a gateway accepting untrusted peers can run a much tighter limit
+    /// than the protocol-wide [`MAX_BODY`].
+    pub fn with_max_body(max_body: usize) -> FrameReader {
+        FrameReader {
+            buf: BytesMut::new(),
+            max_body,
+        }
+    }
+
+    /// The configured frame-size bound, bytes.
+    pub fn max_body(&self) -> usize {
+        self.max_body
     }
 
     /// Appends raw bytes received from the transport.
@@ -471,17 +493,19 @@ impl FrameReader {
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError::Malformed`] if a frame advertises a body
-    /// larger than [`MAX_BODY`]; the stream is unrecoverable after that.
+    /// Returns [`ProtocolError::FrameTooLarge`] if a frame advertises a
+    /// body larger than the configured bound (before any allocation for
+    /// it); the stream is unrecoverable after that.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
         let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if len > MAX_BODY {
-            return Err(ProtocolError::Malformed(format!(
-                "frame body of {len} bytes exceeds {MAX_BODY}"
-            )));
+        if len > self.max_body {
+            return Err(ProtocolError::FrameTooLarge {
+                declared: len as u64,
+                max: self.max_body as u64,
+            });
         }
         if self.buf.len() < 4 + len {
             return Ok(None);
@@ -654,8 +678,31 @@ mod tests {
         reader.feed(&u32::MAX.to_be_bytes());
         assert!(matches!(
             reader.next_frame(),
-            Err(ProtocolError::Malformed(_))
+            Err(ProtocolError::FrameTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn configured_bound_is_exact() {
+        // A frame of exactly max_body bytes passes; one byte more is
+        // rejected before the body is buffered out.
+        let body = vec![CT_CUT_TEXT; 16];
+        let mut ok = FrameReader::with_max_body(16);
+        ok.feed(&(16u32).to_be_bytes());
+        ok.feed(&body);
+        assert_eq!(ok.next_frame().unwrap().unwrap().len(), 16);
+
+        let mut too_small = FrameReader::with_max_body(15);
+        too_small.feed(&(16u32).to_be_bytes());
+        too_small.feed(&body);
+        assert!(matches!(
+            too_small.next_frame(),
+            Err(ProtocolError::FrameTooLarge {
+                declared: 16,
+                max: 15
+            })
+        ));
+        assert_eq!(too_small.max_body(), 15);
     }
 
     #[test]

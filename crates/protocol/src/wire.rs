@@ -54,6 +54,10 @@ pub fn get_i32(buf: &mut impl Buf) -> Result<i32> {
 }
 
 /// Reads exactly `n` bytes.
+///
+/// The declared count is validated against what the buffer actually
+/// holds *before* the output vector is allocated, so a hostile length
+/// field can never trigger a speculative allocation.
 pub fn get_bytes(buf: &mut impl Buf, n: usize) -> Result<Vec<u8>> {
     if buf.remaining() < n {
         return Err(ProtocolError::Truncated {
@@ -65,15 +69,31 @@ pub fn get_bytes(buf: &mut impl Buf, n: usize) -> Result<Vec<u8>> {
     Ok(out)
 }
 
-/// Reads a u32-counted UTF-8 string (lossy for invalid sequences).
-pub fn get_string(buf: &mut impl Buf) -> Result<String> {
-    let len = get_u32(buf)? as usize;
-    if len > MAX_BLOB {
-        return Err(ProtocolError::Malformed(format!(
-            "string length {len} exceeds {MAX_BLOB}"
-        )));
+/// Reads exactly `n` bytes, additionally enforcing a caller-chosen upper
+/// bound on `n`. Rejects with [`ProtocolError::FrameTooLarge`] before
+/// any allocation when the declared count exceeds `max`.
+pub fn get_bytes_bounded(buf: &mut impl Buf, n: usize, max: usize) -> Result<Vec<u8>> {
+    if n > max {
+        return Err(ProtocolError::FrameTooLarge {
+            declared: n as u64,
+            max: max as u64,
+        });
     }
-    let raw = get_bytes(buf, len)?;
+    get_bytes(buf, n)
+}
+
+/// Reads a u32-counted UTF-8 string (lossy for invalid sequences),
+/// bounded by [`MAX_BLOB`].
+pub fn get_string(buf: &mut impl Buf) -> Result<String> {
+    get_string_bounded(buf, MAX_BLOB)
+}
+
+/// Reads a u32-counted UTF-8 string whose declared length must not
+/// exceed `max`. Oversized declarations are rejected with
+/// [`ProtocolError::FrameTooLarge`] before any allocation.
+pub fn get_string_bounded(buf: &mut impl Buf, max: usize) -> Result<String> {
+    let len = get_u32(buf)? as usize;
+    let raw = get_bytes_bounded(buf, len, max)?;
     Ok(String::from_utf8_lossy(&raw).into_owned())
 }
 
@@ -122,7 +142,54 @@ mod tests {
         let mut rd = buf.freeze();
         assert!(matches!(
             get_string(&mut rd),
-            Err(ProtocolError::Malformed(_))
+            Err(ProtocolError::FrameTooLarge {
+                declared,
+                max,
+            }) if declared == u32::MAX as u64 && max == MAX_BLOB as u64
+        ));
+    }
+
+    #[test]
+    fn bounded_reads_accept_exactly_max_and_reject_one_past() {
+        // A blob of exactly `max` bytes decodes; `max + 1` is rejected
+        // with the typed error before allocation.
+        let max = 8usize;
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, "12345678");
+        let mut rd = buf.freeze();
+        assert_eq!(get_string_bounded(&mut rd, max).unwrap(), "12345678");
+
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, "123456789");
+        let mut rd = buf.freeze();
+        assert!(matches!(
+            get_string_bounded(&mut rd, max),
+            Err(ProtocolError::FrameTooLarge {
+                declared: 9,
+                max: 8
+            })
+        ));
+
+        let mut b: &[u8] = &[1, 2, 3];
+        assert_eq!(get_bytes_bounded(&mut b, 3, 3).unwrap(), vec![1, 2, 3]);
+        let mut b: &[u8] = &[1, 2, 3];
+        assert!(matches!(
+            get_bytes_bounded(&mut b, 3, 2),
+            Err(ProtocolError::FrameTooLarge {
+                declared: 3,
+                max: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_declaration_beats_truncation() {
+        // Garbage length field on a short buffer: the bound check fires
+        // first, so no allocation is ever attempted for the bogus count.
+        let mut b: &[u8] = &[0xff];
+        assert!(matches!(
+            get_bytes_bounded(&mut b, usize::MAX, 16),
+            Err(ProtocolError::FrameTooLarge { .. })
         ));
     }
 

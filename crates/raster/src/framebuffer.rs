@@ -230,11 +230,20 @@ impl Framebuffer {
     /// Panics if the framebuffers have different sizes.
     pub fn diff_region(&self, other: &Framebuffer) -> Region {
         assert_eq!(self.size(), other.size(), "diff requires equal sizes");
-        let mut out = Region::new();
         let w = self.width as usize;
+        // Scanline runs are disjoint by construction, so the region is
+        // assembled directly instead of via `Region::add` — whose
+        // per-insert subtract scan goes quadratic on the tens of
+        // thousands of runs a dithered-noise diff produces. Runs with
+        // identical spans on consecutive rows merge into taller bands.
+        let mut rects: Vec<Rect> = Vec::new();
+        // Open bands touching the previous row, keyed (x, w) → index.
+        let mut prev_open: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
         for y in 0..self.height {
             let a = self.row(y);
             let b = other.row(y);
+            let mut cur_open = std::collections::HashMap::new();
             let mut x = 0usize;
             while x < w {
                 if a[x] == b[x] {
@@ -245,10 +254,21 @@ impl Framebuffer {
                 while x < w && a[x] != b[x] {
                     x += 1;
                 }
-                out.add(Rect::new(start as i32, y as i32, (x - start) as u32, 1));
+                let key = (start, x - start);
+                if let Some(&idx) = prev_open.get(&key) {
+                    let r: Rect = rects[idx];
+                    if r.bottom() == y as i32 {
+                        rects[idx] = Rect::new(r.x, r.y, r.w, r.h + 1);
+                        cur_open.insert(key, idx);
+                        continue;
+                    }
+                }
+                rects.push(Rect::new(start as i32, y as i32, (x - start) as u32, 1));
+                cur_open.insert(key, rects.len() - 1);
             }
+            prev_open = cur_open;
         }
-        out
+        Region::from_disjoint_rects(rects)
     }
 }
 
@@ -418,6 +438,44 @@ mod diff_tests {
         let d2 = b.diff_region(&a);
         assert_eq!(d1.area(), d2.area());
         assert_eq!(d1.bounding_rect(), d2.bounding_rect());
+    }
+
+    #[test]
+    fn vertically_aligned_runs_merge_into_bands() {
+        // Same columns differ on every row → one tall band per column.
+        let a = Framebuffer::new(8, 6, Color::BLACK);
+        let mut b = a.clone();
+        for y in 0..6 {
+            b.set_pixel(Point::new(2, y), Color::RED);
+            b.set_pixel(Point::new(5, y), Color::RED);
+        }
+        let d = a.diff_region(&b);
+        assert_eq!(d.area(), 12);
+        assert_eq!(d.rect_count(), 2, "{:?}", d.rects());
+    }
+
+    #[test]
+    fn dense_noise_diff_stays_linear() {
+        // A dithered-noise diff: every other pixel differs, offset by row
+        // parity so no vertical merging applies — ~21k one-pixel runs.
+        // This once went through `Region::add`, whose quadratic insert
+        // (plus cubic coalesce) made a 240×180 diff effectively hang;
+        // the scanline builder must handle it instantly and exactly.
+        let (w, h) = (240u32, 180u32);
+        let a = Framebuffer::new(w, h, Color::BLACK);
+        let mut b = a.clone();
+        for y in 0..h as i32 {
+            let mut x = y % 2;
+            while x < w as i32 {
+                b.set_pixel(Point::new(x, y), Color::WHITE);
+                x += 2;
+            }
+        }
+        let d = a.diff_region(&b);
+        assert_eq!(d.area(), (w as u64 * h as u64).div_ceil(2));
+        for p in [Point::new(0, 0), Point::new(239, 179)] {
+            assert_eq!(d.contains(p), a.pixel(p) != b.pixel(p), "pixel {p}");
+        }
     }
 
     #[test]

@@ -162,6 +162,32 @@ impl Region {
         core::mem::take(&mut self.rects)
     }
 
+    /// Builds a region from rectangles the caller guarantees are pairwise
+    /// disjoint, skipping the subtract/coalesce machinery of [`add`].
+    ///
+    /// [`add`] costs O(existing rects) per insertion, which turns
+    /// quadratic (plus a cubic coalesce) when tens of thousands of tiny
+    /// rects arrive — e.g. a framebuffer diff of dithered noise. Bulk
+    /// construction from known-disjoint rects is linear instead.
+    ///
+    /// [`add`]: Self::add
+    pub(crate) fn from_disjoint_rects(rects: Vec<Rect>) -> Region {
+        // Checking disjointness is quadratic, so debug builds only verify
+        // inputs small enough not to reintroduce the very blowup this
+        // constructor exists to avoid.
+        debug_assert!(
+            rects.len() > 256
+                || rects
+                    .iter()
+                    .enumerate()
+                    .all(|(i, a)| rects[i + 1..].iter().all(|b| a.intersect(*b).is_none())),
+            "from_disjoint_rects requires pairwise disjoint input"
+        );
+        Region {
+            rects: rects.into_iter().filter(|r| !r.is_empty()).collect(),
+        }
+    }
+
     /// Merge pairs of rectangles that tile exactly (share a full edge).
     /// Keeps the representation compact after many small `add`s; purely an
     /// optimization, the covered pixel set is unchanged.

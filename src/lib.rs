@@ -20,6 +20,7 @@
 //! | [`core`] | `uniint-core` | UniInt server, proxy, plug-ins, selection policy |
 //! | [`devices`] | `uniint-devices` | simulated PDAs, phones, voice, remotes |
 //! | [`apps`] | `uniint-apps` | appliance control-panel applications |
+//! | [`gateway`] | `uniint-gateway` | real TCP transport: concurrent host + resuming client |
 //! | [`telemetry`] | `uniint-telemetry` | deterministic metrics, journal, snapshots |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@
 pub use uniint_apps as apps;
 pub use uniint_core as core;
 pub use uniint_devices as devices;
+pub use uniint_gateway as gateway;
 pub use uniint_havi as havi;
 pub use uniint_netsim as netsim;
 pub use uniint_protocol as protocol;
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use uniint_apps::prelude::*;
     pub use uniint_core::prelude::*;
     pub use uniint_devices::prelude::*;
+    pub use uniint_gateway::prelude::*;
     pub use uniint_havi::prelude::*;
     pub use uniint_netsim::prelude::*;
     pub use uniint_protocol::prelude::*;

@@ -1,0 +1,225 @@
+//! Integration tests for the TCP gateway: many concurrent socket
+//! clients against one panel, and the reconnect/resume lifecycle over a
+//! real connection break.
+
+use std::time::{Duration, Instant};
+
+use uniint::gateway::prelude::*;
+use uniint::protocol::input::InputEvent;
+use uniint::protocol::message::ClientMessage;
+use uniint::telemetry::prelude::Registry;
+use uniint::wsys::prelude::{Theme, Toggle, Ui};
+use uniint_raster::geom::Rect;
+
+fn panel() -> Ui {
+    let mut ui = Ui::new(160, 120, Theme::classic(), "gateway-panel");
+    ui.add(Toggle::new("Power", false), Rect::new(20, 20, 120, 28));
+    ui
+}
+
+fn click_msgs() -> Vec<ClientMessage> {
+    InputEvent::click(80, 34)
+        .into_iter()
+        .map(ClientMessage::Input)
+        .collect()
+}
+
+/// Pumps every client until `cond` holds (with a hard deadline — these
+/// are sockets, not the simulator).
+fn pump_until(
+    clients: &mut [GatewayClient],
+    what: &str,
+    mut cond: impl FnMut(&[GatewayClient]) -> bool,
+) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        for c in clients.iter_mut() {
+            c.pump_once().expect("pump");
+        }
+        if cond(clients) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+    }
+}
+
+/// Pumps until no client has received a frame for `quiet` — the server
+/// has flushed everything it owed.
+fn pump_quiescent(clients: &mut [GatewayClient], quiet: Duration) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut last_activity = Instant::now();
+    while last_activity.elapsed() < quiet {
+        for c in clients.iter_mut() {
+            if c.pump_once().expect("pump") {
+                last_activity = Instant::now();
+            }
+        }
+        assert!(Instant::now() < deadline, "update stream never quiesced");
+    }
+}
+
+#[test]
+fn eight_concurrent_clients_converge_to_identical_framebuffers() {
+    let gw =
+        Gateway::spawn(panel(), GatewayConfig::default(), Registry::new()).expect("gateway binds");
+    let addr = gw.local_addr();
+
+    let mut clients: Vec<GatewayClient> = (0..8)
+        .map(|i| GatewayClient::connect(addr, format!("viewer-{i}"), i).expect("connect"))
+        .collect();
+
+    // Every client clicks once, serialized: wait until every viewer has
+    // applied at least one update for each click before the next.
+    for i in 0..clients.len() {
+        let before: Vec<u64> = clients.iter().map(|c| c.stats().updates_applied).collect();
+        clients[i].send_messages(click_msgs());
+        pump_until(&mut clients, "click to fan out to every viewer", |cs| {
+            cs.iter()
+                .zip(&before)
+                .all(|(c, b)| c.stats().updates_applied > *b)
+        });
+    }
+    pump_quiescent(&mut clients, Duration::from_millis(300));
+
+    // All eight socket clients reconstructed the same pixels...
+    let reference = clients[0]
+        .proxy
+        .server_frame()
+        .expect("client 0 holds a framebuffer")
+        .clone();
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(
+            c.proxy.server_frame().expect("framebuffer"),
+            &reference,
+            "viewer {i} diverged"
+        );
+    }
+
+    // ...and they are exactly the appliance's own pixels (transport is
+    // Rgb888 here, so equality is exact, not approximate).
+    let ui = gw.shutdown();
+    assert_eq!(&reference, ui.framebuffer(), "clients match the appliance");
+}
+
+#[test]
+fn killed_socket_reconnects_with_backoff_and_resumes_incrementally() {
+    let registry = Registry::new();
+    let gw =
+        Gateway::spawn(panel(), GatewayConfig::default(), registry.clone()).expect("gateway binds");
+    let addr = gw.local_addr();
+
+    let mut c0 = GatewayClient::connect(addr, "victim", 42).expect("connect victim");
+    let mut c1 = GatewayClient::connect(addr, "witness", 43).expect("connect witness");
+
+    // Let both drain their initial full updates.
+    {
+        let mut both = [c0, c1];
+        pump_quiescent(&mut both, Duration::from_millis(200));
+        [c0, c1] = both;
+    }
+
+    // Damage heads for both viewers; the victim's socket dies mid-update.
+    c1.send_messages(click_msgs());
+    c0.kill_socket();
+
+    // The victim detects the break on its next pump, backs off,
+    // reconnects and resumes; both end up converged.
+    {
+        let mut both = [c0, c1];
+        pump_until(&mut both, "victim to resume after the kill", |cs| {
+            cs[0].stats().resumes >= 1
+        });
+        pump_quiescent(&mut both, Duration::from_millis(300));
+        [c0, c1] = both;
+    }
+
+    let st = c0.stats();
+    assert_eq!(st.stalls, 1, "exactly one stall detected: {st:?}");
+    assert!(st.backoff_attempts >= 1, "backoff ran: {st:?}");
+    assert_eq!(st.resumes, 1, "resumed incrementally: {st:?}");
+    assert_eq!(st.full_resyncs, 0, "no full refresh needed: {st:?}");
+
+    let snap = registry.snapshot();
+    let counter = |n: &str| snap.counters.get(n).copied().unwrap_or(0);
+    assert_eq!(
+        counter("gateway.reconnects"),
+        1,
+        "gateway adopted the session once"
+    );
+    assert_eq!(
+        counter("gateway.resumes"),
+        1,
+        "one resume crossed the gateway"
+    );
+
+    let fb0 = c0.proxy.server_frame().expect("victim framebuffer").clone();
+    let fb1 = c1
+        .proxy
+        .server_frame()
+        .expect("witness framebuffer")
+        .clone();
+    assert_eq!(fb0, fb1, "victim converged with the witness");
+    let ui = gw.shutdown();
+    let converged = &fb0 == ui.framebuffer();
+    assert!(converged, "victim converged with the appliance");
+
+    // One deterministic line for the CI determinism diff: every value
+    // here must be identical across runs (wall-clock metrics excluded).
+    println!(
+        "RESUME-COUNTERS stalls={} resumes={} full_resyncs={} gw_reconnects={} gw_resumes={} converged={}",
+        st.stalls,
+        st.resumes,
+        st.full_resyncs,
+        counter("gateway.reconnects"),
+        counter("gateway.resumes"),
+        converged,
+    );
+}
+
+#[test]
+fn oversized_client_frame_drops_the_connection_not_the_gateway() {
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    let registry = Registry::new();
+    let gw = Gateway::spawn(
+        panel(),
+        GatewayConfig {
+            max_frame: 4096,
+            ..GatewayConfig::default()
+        },
+        registry.clone(),
+    )
+    .expect("gateway binds");
+    let addr = gw.local_addr();
+
+    // A hostile peer declares a 1 GiB frame. The gateway must refuse it
+    // at the length prefix — before any allocation — and keep serving.
+    let mut evil = TcpStream::connect(addr).expect("connect");
+    evil.write_all(&(1u32 << 30).to_be_bytes()).expect("write");
+
+    let mut c = GatewayClient::connect(addr, "legit", 7).expect("legit client connects");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while registry
+        .snapshot()
+        .counters
+        .get("gateway.decode_errors")
+        .copied()
+        .unwrap_or(0)
+        == 0
+    {
+        c.pump_once().expect("pump");
+        assert!(Instant::now() < deadline, "oversized frame never rejected");
+    }
+
+    // The legitimate session still works end to end.
+    c.send_messages(click_msgs());
+    let before = c.stats().updates_applied;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while c.stats().updates_applied == before {
+        c.pump_once().expect("pump");
+        assert!(Instant::now() < deadline, "gateway stopped serving");
+    }
+    drop(evil);
+    gw.shutdown();
+}

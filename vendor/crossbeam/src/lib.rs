@@ -13,8 +13,16 @@ pub mod channel {
     use std::time::Duration;
 
     /// Sending half of an unbounded channel.
-    #[derive(Debug, Clone)]
+    #[derive(Debug)]
     pub struct Sender<T>(mpsc::Sender<T>);
+
+    // Manual impl: senders clone for any `T` (the derive would demand
+    // `T: Clone`, which real crossbeam does not).
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
 
     /// Receiving half of an unbounded channel.
     #[derive(Debug)]
