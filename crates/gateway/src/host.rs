@@ -51,15 +51,35 @@ pub type ConnId = usize;
 /// Tuning knobs for a [`Gateway`].
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
+    /// Address the gateway listens on. Defaults to `127.0.0.1:0`
+    /// (loopback, ephemeral port); bind `0.0.0.0:<port>` to serve a
+    /// real network.
+    pub bind_addr: SocketAddr,
     /// Largest frame accepted from a client, bytes. Frames declaring
     /// more are rejected before allocation and the connection dropped.
     pub max_frame: usize,
     /// Outbound queue capacity per connection, messages. A client that
     /// stays this far behind even after update coalescing is dropped.
     pub max_queue: usize,
+    /// Largest total pixel payload, bytes, that update coalescing may
+    /// accumulate into one queue entry. A merge that would exceed this
+    /// starts a new entry instead, so queue memory stays bounded by
+    /// roughly `max_queue * max_coalesce_bytes` even for a stalled
+    /// client under a continuously changing panel.
+    pub max_coalesce_bytes: usize,
     /// Drop a connection after this long without a single byte from it.
     /// `None` disables the idle check (the default).
     pub idle_timeout: Option<Duration>,
+    /// How long a `Hello` for an already-known name is held back
+    /// waiting for a `Resume` to disambiguate reconnect from name
+    /// reuse. A fresh client (crashed and restarted) sends only the
+    /// Hello, so once this grace elapses the Hello is resolved as a
+    /// replacement and the handshake completes.
+    pub hello_grace: Duration,
+    /// How long a session may stay detached (no socket) before it is
+    /// reaped and its name freed. `None` keeps detached sessions
+    /// forever — unbounded memory under client-name churn.
+    pub session_grace: Option<Duration>,
     /// How long the state thread waits for an event before running a
     /// housekeeping pass (application tick + damage pump).
     pub tick: Duration,
@@ -68,9 +88,13 @@ pub struct GatewayConfig {
 impl Default for GatewayConfig {
     fn default() -> GatewayConfig {
         GatewayConfig {
+            bind_addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             max_frame: DEFAULT_MAX_FRAME,
             max_queue: 64,
+            max_coalesce_bytes: 8 << 20,
             idle_timeout: None,
+            hello_grace: Duration::from_millis(250),
+            session_grace: Some(Duration::from_secs(60)),
             tick: Duration::from_millis(10),
         }
     }
@@ -100,23 +124,40 @@ pub struct OutQueue {
     inner: Mutex<QueueInner>,
     ready: Condvar,
     cap: usize,
+    /// Largest total pixel payload one coalesced tail may carry; merges
+    /// that would exceed it start a new entry instead.
+    coalesce_cap: usize,
 }
 
 #[derive(Debug)]
 struct QueueInner {
     items: VecDeque<ServerMessage>,
     closed: bool,
+    /// Payload bytes accumulated in the tail entry (0 if not an
+    /// `Update`). Only mutated at push time, which is also the only
+    /// time the tail's identity can change.
+    tail_bytes: usize,
+}
+
+/// Total pixel payload carried by one `Update`'s rects.
+fn update_payload_bytes(msg: &ServerMessage) -> usize {
+    match msg {
+        ServerMessage::Update { rects, .. } => rects.iter().map(|r| r.payload.len()).sum(),
+        _ => 0,
+    }
 }
 
 impl OutQueue {
-    fn new(cap: usize) -> OutQueue {
+    fn new(cap: usize, coalesce_cap: usize) -> OutQueue {
         OutQueue {
             inner: Mutex::new(QueueInner {
                 items: VecDeque::new(),
                 closed: false,
+                tail_bytes: 0,
             }),
             ready: Condvar::new(),
             cap: cap.max(1),
+            coalesce_cap,
         }
     }
 
@@ -125,22 +166,29 @@ impl OutQueue {
     /// are appended to it and the sequence advances to the newer one.
     /// Applying the merged update is pixel-identical to applying both in
     /// order, and ordering relative to `Resize`/`Bell` is preserved
-    /// because only the *tail* merges.
+    /// because only the *tail* merges. A merge never grows the tail past
+    /// `coalesce_cap` payload bytes — beyond that the update starts a
+    /// new entry, so a stalled client is bounded by `cap` entries of
+    /// bounded size and eventually overflows instead of absorbing the
+    /// panel's whole change history into one giant message.
     fn push(&self, msg: ServerMessage) -> Pushed {
         let mut q = self.inner.lock().expect("queue poisoned");
         if q.closed {
             return Pushed::Closed;
         }
+        let msg_bytes = update_payload_bytes(&msg);
         if let ServerMessage::Update { seq, format, rects } = &msg {
+            let fits = q.tail_bytes.saturating_add(msg_bytes) <= self.coalesce_cap;
             if let Some(ServerMessage::Update {
                 seq: tail_seq,
                 format: tail_format,
                 rects: tail_rects,
             }) = q.items.back_mut()
             {
-                if tail_format == format {
+                if tail_format == format && fits {
                     tail_rects.extend(rects.iter().cloned());
                     *tail_seq = (*tail_seq).max(*seq);
+                    q.tail_bytes += msg_bytes;
                     self.ready.notify_one();
                     return Pushed::Coalesced;
                 }
@@ -153,6 +201,7 @@ impl OutQueue {
             return Pushed::Overflow;
         }
         q.items.push_back(msg);
+        q.tail_bytes = msg_bytes;
         self.ready.notify_one();
         Pushed::Queued
     }
@@ -214,6 +263,7 @@ struct StateMetrics {
     rejected_version: Counter,
     decode_errors: Counter,
     dropped_connections: Counter,
+    expired_sessions: Counter,
     write_coalesced: Counter,
     queue_depth: Gauge,
 }
@@ -226,6 +276,7 @@ impl StateMetrics {
             rejected_version: r.counter("gateway.rejected_version"),
             decode_errors: r.counter("gateway.decode_errors"),
             dropped_connections: r.counter("gateway.dropped_connections"),
+            expired_sessions: r.counter("gateway.expired_sessions"),
             write_coalesced: r.counter("gateway.write_coalesced"),
             queue_depth: r.gauge("gateway.queue_depth"),
         }
@@ -236,10 +287,13 @@ impl StateMetrics {
 struct Conn {
     queue: Arc<OutQueue>,
     session: Option<ClientId>,
-    /// A `Hello` for an already-known name, held back until the next
-    /// message disambiguates reconnect (`Resume` follows) from a fresh
-    /// client reusing the name (anything else follows).
-    pending_hello: Option<ClientMessage>,
+    /// A `Hello` for an already-known name, held back until either the
+    /// next message disambiguates reconnect (`Resume` follows) from a
+    /// fresh client reusing the name (anything else follows), or
+    /// `hello_grace` elapses — a fresh client sends nothing after its
+    /// Hello, so the timeout resolves it as a replacement instead of
+    /// hanging its handshake.
+    pending_hello: Option<(ClientMessage, Instant)>,
 }
 
 /// A running gateway: an appliance panel listening on a TCP port.
@@ -258,7 +312,8 @@ pub struct Gateway {
 }
 
 impl Gateway {
-    /// Binds `127.0.0.1:0` (ephemeral port) and starts serving `ui`.
+    /// Binds `config.bind_addr` (loopback + ephemeral port by default)
+    /// and starts serving `ui`.
     pub fn spawn(ui: Ui, config: GatewayConfig, registry: Registry) -> io::Result<Gateway> {
         Gateway::spawn_with_tick(ui, config, registry, Box::new(|_| {}))
     }
@@ -272,7 +327,7 @@ impl Gateway {
         registry: Registry,
         tick: Box<dyn FnMut(&mut Ui) + Send>,
     ) -> io::Result<Gateway> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let listener = TcpListener::bind(config.bind_addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
@@ -310,7 +365,8 @@ impl Gateway {
         })
     }
 
-    /// The address clients connect to (loopback, ephemeral port).
+    /// The address clients connect to (resolves the ephemeral port when
+    /// `bind_addr` asked for port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
@@ -386,7 +442,7 @@ fn spawn_conn(
     cfg: &GatewayConfig,
     registry: &Registry,
 ) -> io::Result<Vec<JoinHandle<()>>> {
-    let queue = Arc::new(OutQueue::new(cfg.max_queue));
+    let queue = Arc::new(OutQueue::new(cfg.max_queue, cfg.max_coalesce_bytes));
     let write_half = stream.try_clone()?;
     let mut sock = FramedSocket::new(stream, cfg.max_frame, Duration::from_millis(20))?;
     let _ = tx.send(Event::Connected(id, queue.clone()));
@@ -490,6 +546,10 @@ struct State {
     names: HashMap<String, ClientId>,
     /// ...and which socket (if any) a session's output currently goes to.
     attached: HashMap<ClientId, ConnId>,
+    /// When each currently-detached session lost its socket, so stale
+    /// ones can be reaped after `session_grace` instead of accumulating
+    /// forever under client-name churn.
+    detached_at: HashMap<ClientId, Instant>,
     metrics: StateMetrics,
     registry: Registry,
 }
@@ -507,6 +567,7 @@ fn state_loop(
         conns: HashMap::new(),
         names: HashMap::new(),
         attached: HashMap::new(),
+        detached_at: HashMap::new(),
         metrics: StateMetrics::new(&registry),
         registry,
     };
@@ -538,6 +599,8 @@ fn state_loop(
         if stop {
             break;
         }
+        st.resolve_stale_hellos(&mut ui, cfg.hello_grace);
+        st.expire_detached_sessions(cfg.session_grace);
         tick(&mut ui);
         let batches = st.multi.pump_all(&mut ui);
         st.route_batches(batches);
@@ -552,14 +615,114 @@ fn state_loop(
 impl State {
     /// Unbinds a dead socket. Its *session* stays alive: damage keeps
     /// accumulating in the server session (bounded by the screen area),
-    /// so the same client name can come back and resume incrementally.
+    /// so the same client name can come back and resume incrementally —
+    /// until `session_grace` reaps it.
     fn drop_conn(&mut self, id: ConnId) {
         if let Some(conn) = self.conns.remove(&id) {
             conn.queue.close();
             if let Some(sid) = conn.session {
                 if self.attached.get(&sid) == Some(&id) {
                     self.attached.remove(&sid);
+                    self.detached_at.insert(sid, Instant::now());
                 }
+            }
+        }
+    }
+
+    /// Detaches the session a connection is currently bound to (if
+    /// any), leaving the session alive under its name. Called when a
+    /// bound connection sends another `Hello`: the old session must
+    /// stop writing to this socket *before* a new one binds, or two
+    /// independent seq streams would interleave onto one client.
+    fn unbind_conn(&mut self, id: ConnId) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            if let Some(sid) = conn.session.take() {
+                if self.attached.get(&sid) == Some(&id) {
+                    self.attached.remove(&sid);
+                    self.detached_at.insert(sid, Instant::now());
+                }
+            }
+        }
+    }
+
+    /// Binds `id` to a brand-new session for `hello`'s name, displacing
+    /// (and disconnecting) any previous session under that name, and
+    /// forwards the Hello so the normal handshake replies flow.
+    fn bind_fresh_session(&mut self, ui: &mut Ui, id: ConnId, hello: ClientMessage) {
+        let ClientMessage::Hello { ref name, .. } = hello else {
+            unreachable!("only Hello is ever held back");
+        };
+        if !self.conns.contains_key(&id) {
+            return;
+        }
+        let sid = self.multi.accept_with_telemetry(ui, self.registry.clone());
+        if let Some(old_sid) = self.names.insert(name.clone(), sid) {
+            if let Some(old_conn) = self.attached.remove(&old_sid) {
+                if old_conn != id {
+                    if let Some(stale) = self.conns.get(&old_conn) {
+                        stale.queue.close();
+                    }
+                }
+            }
+            self.detached_at.remove(&old_sid);
+            self.multi.disconnect(old_sid);
+        }
+        self.attached.insert(sid, id);
+        self.conns.get_mut(&id).expect("checked").session = Some(sid);
+        let replies = self.multi.handle_message(ui, sid, hello);
+        self.push_to(id, replies);
+    }
+
+    /// Resolves held-back `Hello`s whose grace elapsed with no follow-up
+    /// message: the peer is a fresh client reusing a known name (a
+    /// reconnecting client sends `Resume` immediately after its Hello),
+    /// so it displaces the old session and handshakes normally.
+    fn resolve_stale_hellos(&mut self, ui: &mut Ui, grace: Duration) {
+        let stale: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.pending_hello
+                    .as_ref()
+                    .is_some_and(|(_, held)| held.elapsed() >= grace)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale {
+            if let Some((hello, _)) = self.conns.get_mut(&id).and_then(|c| c.pending_hello.take()) {
+                self.bind_fresh_session(ui, id, hello);
+            }
+        }
+    }
+
+    /// Reaps sessions that have been detached longer than `grace`,
+    /// freeing their name and their `MultiServer` slot.
+    fn expire_detached_sessions(&mut self, grace: Option<Duration>) {
+        let Some(grace) = grace else { return };
+        let expired: Vec<ClientId> = self
+            .detached_at
+            .iter()
+            .filter(|(_, since)| since.elapsed() >= grace)
+            .map(|(sid, _)| *sid)
+            .collect();
+        for sid in expired {
+            self.detached_at.remove(&sid);
+            self.attached.remove(&sid);
+            let mut expired_name = None;
+            self.names.retain(|name, s| {
+                if *s == sid {
+                    expired_name = Some(name.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            self.multi.disconnect(sid);
+            self.metrics.expired_sessions.inc();
+            if let Some(name) = expired_name {
+                self.registry
+                    .journal()
+                    .record("gateway.session_expired", name);
             }
         }
     }
@@ -571,53 +734,47 @@ impl State {
             return;
         }
 
-        // A held-back Hello resolves on the very next message.
+        // A held-back Hello resolves on the very next message (or, if
+        // none comes, on the `hello_grace` timeout in housekeeping).
         let held = self
             .conns
             .get_mut(&id)
             .expect("checked")
             .pending_hello
             .take();
-        if let Some(hello) = held {
+        if let Some((hello, _)) = held {
             let ClientMessage::Hello { ref name, .. } = hello else {
                 unreachable!("only Hello is ever held back");
             };
-            if matches!(msg, ClientMessage::Resume { .. }) {
-                // Reconnect: adopt the existing session wholesale. The
-                // Hello is deliberately *not* forwarded — a Hello resets
-                // server-side session state, which is exactly what an
-                // incremental resume must avoid.
-                let sid = *self.names.get(name).expect("held Hello implies known name");
-                if let Some(old) = self.attached.insert(sid, id) {
-                    if old != id {
-                        if let Some(stale) = self.conns.get(&old) {
-                            stale.queue.close();
-                        }
-                    }
-                }
-                self.conns.get_mut(&id).expect("checked").session = Some(sid);
-                self.metrics.reconnects.inc();
-                self.registry
-                    .journal()
-                    .record("gateway.reconnect", name.clone());
-            } else {
-                // A fresh client reusing a known name: the old session
-                // is abandoned in its favour.
-                let sid = self.multi.accept_with_telemetry(ui, self.registry.clone());
-                if let Some(old_sid) = self.names.insert(name.clone(), sid) {
-                    if let Some(old_conn) = self.attached.remove(&old_sid) {
-                        if old_conn != id {
-                            if let Some(stale) = self.conns.get(&old_conn) {
+            // Adopt the existing session only on Resume; its name may
+            // also have been reaped between hold and resolution, in
+            // which case a fresh session is the only option left.
+            let known = self.names.get(name).copied();
+            match (&msg, known) {
+                (ClientMessage::Resume { .. }, Some(sid)) => {
+                    // Reconnect: adopt the existing session wholesale.
+                    // The Hello is deliberately *not* forwarded — a
+                    // Hello resets server-side session state, which is
+                    // exactly what an incremental resume must avoid.
+                    if let Some(old) = self.attached.insert(sid, id) {
+                        if old != id {
+                            if let Some(stale) = self.conns.get(&old) {
                                 stale.queue.close();
                             }
                         }
                     }
-                    self.multi.disconnect(old_sid);
+                    self.detached_at.remove(&sid);
+                    self.conns.get_mut(&id).expect("checked").session = Some(sid);
+                    self.metrics.reconnects.inc();
+                    self.registry
+                        .journal()
+                        .record("gateway.reconnect", name.clone());
                 }
-                self.attached.insert(sid, id);
-                self.conns.get_mut(&id).expect("checked").session = Some(sid);
-                let replies = self.multi.handle_message(ui, sid, hello);
-                self.push_to(id, replies);
+                _ => {
+                    // A fresh client reusing a known name: the old
+                    // session is abandoned in its favour.
+                    self.bind_fresh_session(ui, id, hello);
+                }
             }
             // Fall through: `msg` itself is processed below.
         }
@@ -633,10 +790,16 @@ impl State {
                     self.conns[&id].queue.close();
                     return;
                 }
+                // A re-Hello from a bound connection rebinds it: detach
+                // the old session first so only one seq stream ever
+                // writes to this socket.
+                self.unbind_conn(id);
                 if self.names.contains_key(name) {
                     // Known name: reconnect or collision? The next
-                    // message tells (Resume means reconnect).
-                    self.conns.get_mut(&id).expect("checked").pending_hello = Some(msg);
+                    // message tells (Resume means reconnect), and the
+                    // hello_grace timeout resolves the silent case.
+                    self.conns.get_mut(&id).expect("checked").pending_hello =
+                        Some((msg, Instant::now()));
                     return;
                 }
                 let sid = self.multi.accept_with_telemetry(ui, self.registry.clone());
@@ -711,7 +874,7 @@ mod tests {
 
     #[test]
     fn queue_coalesces_consecutive_updates() {
-        let q = OutQueue::new(4);
+        let q = OutQueue::new(4, usize::MAX);
         assert_eq!(q.push(update(1, 0)), Pushed::Queued);
         assert_eq!(q.push(update(2, 1)), Pushed::Coalesced);
         assert_eq!(q.push(update(3, 2)), Pushed::Coalesced);
@@ -731,7 +894,7 @@ mod tests {
         // Update / Resize / Update must stay three messages: merging the
         // second update into the first would replay its rects *before*
         // the resize that invalidated the old geometry.
-        let q = OutQueue::new(4);
+        let q = OutQueue::new(4, usize::MAX);
         q.push(update(1, 0));
         q.push(ServerMessage::Resize {
             width: 10,
@@ -742,8 +905,38 @@ mod tests {
     }
 
     #[test]
+    fn queue_coalescing_is_bounded_in_bytes() {
+        // Each test update carries a 3-byte payload; a 4-byte coalesce
+        // cap lets no pair merge, so a backed-up client marches toward
+        // the queue cap (and Overflow) instead of growing one tail
+        // entry without bound.
+        let q = OutQueue::new(3, 4);
+        assert_eq!(q.push(update(1, 0)), Pushed::Queued);
+        assert_eq!(
+            q.push(update(2, 1)),
+            Pushed::Queued,
+            "merge would exceed cap"
+        );
+        assert_eq!(q.push(update(3, 2)), Pushed::Queued);
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.push(update(4, 3)), Pushed::Overflow);
+    }
+
+    #[test]
+    fn queue_coalesces_again_after_a_new_tail_starts() {
+        // A 7-byte cap fits two 3-byte payloads but not three: the third
+        // update starts a fresh tail, and the fourth merges into *it*.
+        let q = OutQueue::new(4, 7);
+        assert_eq!(q.push(update(1, 0)), Pushed::Queued);
+        assert_eq!(q.push(update(2, 1)), Pushed::Coalesced);
+        assert_eq!(q.push(update(3, 2)), Pushed::Queued, "cap reached");
+        assert_eq!(q.push(update(4, 3)), Pushed::Coalesced, "new tail merges");
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
     fn queue_overflow_closes() {
-        let q = OutQueue::new(2);
+        let q = OutQueue::new(2, usize::MAX);
         assert_eq!(q.push(ServerMessage::Bell), Pushed::Queued);
         assert_eq!(q.push(ServerMessage::Bell), Pushed::Queued);
         assert_eq!(q.push(ServerMessage::Bell), Pushed::Overflow);
@@ -753,7 +946,7 @@ mod tests {
 
     #[test]
     fn queue_pop_times_out_empty() {
-        let q = OutQueue::new(2);
+        let q = OutQueue::new(2, usize::MAX);
         assert_eq!(q.pop(Duration::from_millis(5)), Ok(None));
     }
 }

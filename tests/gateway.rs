@@ -177,6 +177,130 @@ fn killed_socket_reconnects_with_backoff_and_resumes_incrementally() {
 }
 
 #[test]
+fn restarted_client_reuses_its_name_without_hanging() {
+    // Regression: a Hello for a known name used to be held back waiting
+    // for a follow-up message that a freshly started client never sends
+    // during connect, so a crashed-and-restarted process reusing its
+    // name hung against the 10s handshake deadline and failed — forever,
+    // since sessions are name-keyed. The hello_grace timeout must
+    // resolve the held Hello as a replacement instead.
+    let gw =
+        Gateway::spawn(panel(), GatewayConfig::default(), Registry::new()).expect("gateway binds");
+    let addr = gw.local_addr();
+
+    let first = GatewayClient::connect(addr, "phoenix", 1).expect("first connect");
+    first.kill_socket();
+    drop(first);
+
+    let started = Instant::now();
+    let mut reborn =
+        GatewayClient::connect(addr, "phoenix", 2).expect("restarted client must handshake");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "name reuse resolved by the grace timeout, not the handshake deadline"
+    );
+
+    // And the replacement session is actually served end to end.
+    let before = reborn.stats().updates_applied;
+    reborn.send_messages(click_msgs());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while reborn.stats().updates_applied == before {
+        reborn.pump_once().expect("pump");
+        assert!(
+            Instant::now() < deadline,
+            "replacement session never served"
+        );
+    }
+    gw.shutdown();
+}
+
+#[test]
+fn detached_sessions_expire_and_free_their_name() {
+    let registry = Registry::new();
+    let gw = Gateway::spawn(
+        panel(),
+        GatewayConfig {
+            session_grace: Some(Duration::from_millis(100)),
+            ..GatewayConfig::default()
+        },
+        registry.clone(),
+    )
+    .expect("gateway binds");
+    let addr = gw.local_addr();
+
+    let c = GatewayClient::connect(addr, "ghost", 9).expect("connect");
+    c.kill_socket();
+    drop(c);
+
+    let expired = || {
+        registry
+            .snapshot()
+            .counters
+            .get("gateway.expired_sessions")
+            .copied()
+            .unwrap_or(0)
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while expired() == 0 {
+        assert!(Instant::now() < deadline, "detached session never expired");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The name is free again: a new client with it handshakes without
+    // even waiting out the held-Hello grace.
+    let _reborn = GatewayClient::connect(addr, "ghost", 10).expect("reconnect after expiry");
+    gw.shutdown();
+}
+
+#[test]
+fn second_hello_on_a_bound_connection_detaches_the_first_session() {
+    use std::net::TcpStream;
+    use uniint::protocol::message::PROTOCOL_VERSION;
+
+    let registry = Registry::new();
+    let gw = Gateway::spawn(
+        panel(),
+        GatewayConfig {
+            session_grace: Some(Duration::from_millis(100)),
+            ..GatewayConfig::default()
+        },
+        registry.clone(),
+    )
+    .expect("gateway binds");
+
+    let stream = TcpStream::connect(gw.local_addr()).expect("connect");
+    let mut sock =
+        FramedSocket::new(stream, 1 << 20, Duration::from_millis(10)).expect("framed socket");
+    let hello = |name: &str| ClientMessage::Hello {
+        version: PROTOCOL_VERSION,
+        name: name.into(),
+    };
+    sock.send_client(&hello("twin-a")).expect("hello a");
+    sock.send_client(&hello("twin-b")).expect("hello b");
+
+    // Rebinding the connection must detach "twin-a" — with the socket
+    // still open it expires alone, while "twin-b" stays attached. (The
+    // old bug kept both attached, interleaving two seq streams onto one
+    // socket.)
+    let expired = || {
+        registry
+            .snapshot()
+            .counters
+            .get("gateway.expired_sessions")
+            .copied()
+            .unwrap_or(0)
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while expired() == 0 {
+        assert!(Instant::now() < deadline, "displaced session never expired");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(expired(), 1, "the bound session must not expire with it");
+    gw.shutdown();
+}
+
+#[test]
 fn oversized_client_frame_drops_the_connection_not_the_gateway() {
     use std::io::Write;
     use std::net::TcpStream;
