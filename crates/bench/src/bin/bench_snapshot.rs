@@ -35,6 +35,7 @@ use uniint_protocol::message::ClientMessage;
 use uniint_raster::prelude::*;
 use uniint_telemetry::json::{parse, Value};
 use uniint_telemetry::registry::Registry;
+use uniint_trace::prelude::{Replayer, TraceReader};
 use uniint_wsys::prelude::{Theme, Toggle, Ui};
 
 /// Turns a link/pattern display name into a metric-name token.
@@ -482,6 +483,45 @@ fn e11() -> Value {
     m
 }
 
+/// E12 quick: trace-driven replay of the checked-in golden recording.
+/// The trace pins the exact wire conversation, so decode/adapt work and
+/// the final framebuffer digest are fully determined by the replaying
+/// code — any drift in protocol decoding, raster reconstruction or
+/// server regeneration shows up against the baseline. Regenerate the
+/// golden with `record_golden` when the scenario itself changes.
+fn e12() -> Value {
+    let mut m = Value::object();
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/e12.trace");
+    let reader = TraceReader::open(golden).expect("golden trace parses");
+    let outcome = Replayer::with_output(Box::new(ScreenPlugin::pda()))
+        .replay(&reader)
+        .expect("golden trace replays");
+    // Full verification: a fresh server must regenerate the recorded
+    // conversation byte-for-byte. Gated one-sided via `diverged`.
+    let mut ui = uniint_bench::e12_panel();
+    let diverged = u64::from(Replayer::new().verify(&reader, &mut ui).is_err());
+
+    m.insert("records", Value::UInt(outcome.records));
+    m.insert("updates_applied", Value::UInt(outcome.updates_applied));
+    m.insert("payload_bytes", Value::UInt(outcome.payload_bytes));
+    m.insert(
+        "virtual_elapsed_us",
+        Value::UInt(outcome.virtual_elapsed_us),
+    );
+    m.insert(
+        "final_digest",
+        Value::UInt(outcome.final_digest().unwrap_or(0)),
+    );
+    let counter = |n: &str| outcome.snapshot.counters.get(n).copied().unwrap_or(0);
+    m.insert("rects_decoded", Value::UInt(counter("proxy.rects_decoded")));
+    m.insert(
+        "frames_adapted",
+        Value::UInt(counter("proxy.frames_adapted")),
+    );
+    m.insert("diverged", Value::UInt(diverged));
+    m
+}
+
 /// Builds the whole snapshot document.
 fn snapshot() -> Value {
     let mut root = Value::object();
@@ -496,12 +536,14 @@ fn snapshot() -> Value {
     root.insert("e9_faults", e9());
     root.insert("e10_supervision", e10());
     root.insert("e11_gateway", e11());
+    root.insert("e12_replay", e12());
     root
 }
 
 /// Counters where any increase over baseline is a regression, no matter
-/// how small: resync storms and flood drops must only ever shrink.
-const REGRESSION_COUNTERS: [&str; 2] = ["full_resyncs", "flood_dropped"];
+/// how small: resync storms, flood drops and replay divergences must
+/// only ever shrink.
+const REGRESSION_COUNTERS: [&str; 3] = ["full_resyncs", "flood_dropped", "diverged"];
 
 /// Relative tolerance in percent for a metric, by name.
 fn tolerance_pct(metric: &str) -> i128 {
@@ -537,6 +579,16 @@ fn compare(current: &Value, baseline: &Value) -> Vec<String> {
                 failures.push(format!("{exp}.{metric}: missing from current snapshot"));
                 continue;
             };
+            // Digests are identities, not quantities: any change at all
+            // means the replay reconstructed different pixels.
+            if metric.ends_with("_digest") {
+                if cur != base {
+                    failures.push(format!(
+                        "{exp}.{metric}: digest changed ({base:x} -> {cur:x})"
+                    ));
+                }
+                continue;
+            }
             let one_sided = REGRESSION_COUNTERS.iter().any(|s| metric.ends_with(s));
             if one_sided {
                 if cur > base {

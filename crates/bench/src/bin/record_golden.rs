@@ -1,0 +1,63 @@
+//! (Re)generates the checked-in E12 golden trace.
+//!
+//! ```text
+//! record_golden [--check]
+//! ```
+//!
+//! Without arguments, records the E12 scenario (see
+//! [`uniint_bench::record_e12_trace`]) and writes the trace to
+//! `crates/bench/golden/e12.trace`. With `--check`, records it and
+//! compares against the checked-in file instead, exiting non-zero on
+//! any byte difference — run this after changing the protocol, the
+//! widget toolkit or the trace format, and commit the regenerated
+//! golden together with the change.
+
+use std::process::ExitCode;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/e12.trace");
+
+fn main() -> ExitCode {
+    let check = match std::env::args().nth(1).as_deref() {
+        None => false,
+        Some("--check") => true,
+        Some(other) => {
+            eprintln!("unknown argument {other}; usage: record_golden [--check]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes = uniint_bench::record_e12_trace();
+    if check {
+        match std::fs::read(GOLDEN) {
+            Ok(on_disk) if on_disk == bytes => {
+                eprintln!("golden trace is up to date ({GOLDEN})");
+                ExitCode::SUCCESS
+            }
+            Ok(on_disk) => {
+                eprintln!(
+                    "golden trace is STALE: regenerated {} bytes != checked-in {} bytes \
+                     ({GOLDEN}); rerun record_golden and commit the result",
+                    bytes.len(),
+                    on_disk.len()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("cannot read {GOLDEN}: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        if let Some(dir) = std::path::Path::new(GOLDEN).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(GOLDEN, &bytes) {
+            eprintln!("cannot write {GOLDEN}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} bytes to {GOLDEN}", bytes.len());
+        ExitCode::SUCCESS
+    }
+}

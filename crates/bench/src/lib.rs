@@ -179,6 +179,69 @@ pub const E2_SIZES: [Size; 3] = [
     Size::new(640, 480),
 ];
 
+/// Seed behind the E12 golden trace.
+pub const E12_SEED: u64 = 0xE12;
+
+/// The appliance panel behind the E12 golden trace: three switches
+/// driven purely through the protocol, so trace verification can
+/// regenerate the whole recorded conversation from a fresh copy.
+pub fn e12_panel() -> Ui {
+    use uniint_wsys::prelude::Toggle;
+    let mut ui = Ui::new(160, 120, Theme::classic(), "e12-panel");
+    ui.add(Toggle::new("Power", false), Rect::new(20, 14, 120, 24));
+    ui.add(Toggle::new("Mute", false), Rect::new(20, 46, 120, 24));
+    ui.add(Toggle::new("Eco", false), Rect::new(20, 78, 120, 24));
+    ui
+}
+
+/// Records the E12 scenario — a phone keypad over 802.11b, an output
+/// switch from the phone's LCD to a PDA, and a 300 ms link flap the
+/// session resumes through — and returns the finished trace bytes.
+/// `record_golden` writes this to `crates/bench/golden/e12.trace`;
+/// `bench_snapshot`'s E12 replays the checked-in copy.
+pub fn record_e12_trace() -> Vec<u8> {
+    use uniint_devices::prelude::{KeypadPlugin, ScreenPlugin};
+    use uniint_netsim::prelude::{FaultSchedule, LinkProfile};
+    use uniint_protocol::message::PROTOCOL_VERSION;
+    use uniint_trace::prelude::{Recorder, TraceHeader};
+
+    let rec = Recorder::new(TraceHeader {
+        seed: E12_SEED,
+        protocol_version: PROTOCOL_VERSION,
+        pixel_format: PixelFormat::Rgb888,
+    });
+    let mut ui = e12_panel();
+    let mut s = SimSession::connect_recorded(
+        &mut ui,
+        LinkProfile::wifi80211b(),
+        E12_SEED,
+        Some(rec.tap()),
+    )
+    .expect("e12 session connects");
+    s.proxy.attach_input(Box::new(KeypadPlugin::new()));
+    let msgs = s.proxy.attach_output(Box::new(ScreenPlugin::phone_lcd()));
+    s.send_client(&mut ui, msgs).expect("renegotiation settles");
+    for ev in [
+        DeviceEvent::KeypadSelect,
+        DeviceEvent::KeypadNav(Nav::Down),
+        DeviceEvent::KeypadSelect,
+    ] {
+        s.device_input(&mut ui, &ev).expect("input settles");
+    }
+    let t0 = s.now_us();
+    s.sim.set_link_faults(
+        s.proxy_endpoint(),
+        FaultSchedule::new().flap(t0, t0 + 300_000),
+    );
+    s.device_input(&mut ui, &DeviceEvent::KeypadNav(Nav::Down))
+        .expect("input survives the flap");
+    let msgs = s.proxy.attach_output(Box::new(ScreenPlugin::pda()));
+    s.send_client(&mut ui, msgs).expect("renegotiation settles");
+    s.device_input(&mut ui, &DeviceEvent::KeypadSelect)
+        .expect("input settles");
+    rec.finish().expect("trace finishes once")
+}
+
 /// Finds the first power toggle's center, in server coordinates.
 pub fn power_center(app: &ControlPanelApp) -> (u16, u16) {
     use uniint_wsys::prelude::Toggle;

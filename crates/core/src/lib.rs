@@ -37,6 +37,7 @@ pub mod sensors;
 pub mod server;
 pub mod session;
 pub mod supervisor;
+pub mod tap;
 
 /// Convenient re-exports of the core surface.
 pub mod prelude {
@@ -58,4 +59,5 @@ pub mod prelude {
         FallbackTerminal, HealthEvent, HealthState, Supervisor, SupervisorConfig, SupervisorReport,
         SupervisorStats, TransitionCause,
     };
+    pub use crate::tap::{Direction, SessionTap, SharedTap};
 }

@@ -5,6 +5,7 @@
 use crate::plugin::{DeviceEvent, DeviceFrame};
 use crate::proxy::UniIntProxy;
 use crate::server::UniIntServer;
+use crate::tap::{Direction, SharedTap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uniint_netsim::link::LinkProfile;
@@ -224,12 +225,29 @@ pub struct SimSession {
     resume_pending: bool,
     /// Consecutive resumes that stalled again before their ack arrived.
     failed_resumes: u32,
+    /// Flight-recorder tap, if any: sees every client message the server
+    /// consumes and every server message it produces (channel 0),
+    /// stamped with virtual time. `None` costs one branch per message.
+    recorder: Option<SharedTap>,
 }
 
 impl SimSession {
     /// Creates a session over `link`, completing the handshake (the
     /// virtual clock advances accordingly).
     pub fn connect(ui: &mut Ui, link: LinkProfile, seed: u64) -> Result<SimSession, SessionError> {
+        Self::connect_recorded(ui, link, seed, None)
+    }
+
+    /// Like [`SimSession::connect`], but attaches a flight-recorder tap
+    /// *before* the handshake so the trace holds the complete
+    /// conversation from `Hello` onwards (see [`crate::tap`] for the
+    /// recording semantics).
+    pub fn connect_recorded(
+        ui: &mut Ui,
+        link: LinkProfile,
+        seed: u64,
+        recorder: Option<SharedTap>,
+    ) -> Result<SimSession, SessionError> {
         let registry = Registry::new();
         let mut sim = Simulator::new(seed);
         sim.attach_telemetry(&registry);
@@ -249,6 +267,7 @@ impl SimSession {
             backoff_rng: StdRng::seed_from_u64(seed ^ 0x5e55_10e5_b0ff_0e5e),
             resume_pending: false,
             failed_resumes: 0,
+            recorder,
         };
         for m in s.proxy.connect() {
             s.send_logged(m);
@@ -334,7 +353,7 @@ impl SimSession {
         loop {
             // Drain server-side application damage first.
             for m in self.server.pump(ui) {
-                self.sim.send(self.server_ep, encode_server(&m));
+                self.send_server(&m);
             }
             if self.sim.step().is_none() {
                 if self.sim.link_up(self.proxy_ep) {
@@ -350,9 +369,12 @@ impl SimSession {
                 self.server_rx.feed(&bytes);
             }
             while let Some(frame) = self.server_rx.next_frame()? {
+                if let Some(tap) = &self.recorder {
+                    tap.record(self.sim.now_us(), 0, Direction::ToServer, &frame);
+                }
                 let msg = ClientMessage::decode_body(&mut frame.as_slice())?;
                 for reply in self.server.handle_message(ui, msg) {
-                    self.sim.send(self.server_ep, encode_server(&reply));
+                    self.send_server(&reply);
                 }
             }
             while let Some(bytes) = self.sim.recv(self.proxy_ep) {
@@ -377,6 +399,16 @@ impl SimSession {
                 }
             }
         }
+    }
+
+    /// Encodes and sends a server message across the simulated wire,
+    /// recording it (production order, body only) when a tap is set.
+    fn send_server(&mut self, m: &ServerMessage) {
+        let bytes = encode_server(m);
+        if let Some(tap) = &self.recorder {
+            tap.record(self.sim.now_us(), 0, Direction::ToClient, &bytes[4..]);
+        }
+        self.sim.send(self.server_ep, bytes);
     }
 
     /// Brings a torn-down link back up (exponential backoff + jitter)

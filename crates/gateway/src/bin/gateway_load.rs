@@ -6,41 +6,55 @@
 //! update throughput and per-interaction latency percentiles.
 //!
 //! ```text
-//! gateway_load [--clients N] [--duration-ms MS]
+//! gateway_load [--clients N] [--duration-ms MS] [--record PATH]
 //! ```
+//!
+//! With `--record`, the gateway's state thread captures every message
+//! it processes into a flight-recorder trace written to `PATH` on exit
+//! (inspect it with `trace_dump`).
 
 use std::time::{Duration, Instant};
 
 use uniint_gateway::prelude::*;
 use uniint_protocol::input::InputEvent;
-use uniint_protocol::message::ClientMessage;
+use uniint_protocol::message::{ClientMessage, PROTOCOL_VERSION};
 use uniint_raster::geom::Rect;
+use uniint_raster::pixel::PixelFormat;
 use uniint_telemetry::registry::Registry;
+use uniint_trace::format::TraceHeader;
+use uniint_trace::recorder::Recorder;
 use uniint_wsys::prelude::{Theme, Toggle, Ui};
 
 struct Args {
     clients: usize,
     duration: Duration,
+    record: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         clients: 8,
         duration: Duration::from_millis(2000),
+        record: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut grab = |name: &str| -> u64 {
-            it.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+        let mut grab =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("{name} needs a value")) };
+        let num = |name: &str, v: String| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} needs a numeric value"))
         };
         match flag.as_str() {
-            "--clients" => args.clients = grab("--clients") as usize,
-            "--duration-ms" => args.duration = Duration::from_millis(grab("--duration-ms")),
+            "--clients" => args.clients = num("--clients", grab("--clients")) as usize,
+            "--duration-ms" => {
+                args.duration = Duration::from_millis(num("--duration-ms", grab("--duration-ms")))
+            }
+            "--record" => args.record = Some(grab("--record")),
             other => {
                 eprintln!(
-                    "unknown flag {other}; usage: gateway_load [--clients N] [--duration-ms MS]"
+                    "unknown flag {other}; usage: gateway_load [--clients N] \
+                     [--duration-ms MS] [--record PATH]"
                 );
                 std::process::exit(2);
             }
@@ -54,8 +68,19 @@ fn main() {
 
     let mut ui = Ui::new(160, 120, Theme::classic(), "load-panel");
     ui.add(Toggle::new("Power", false), Rect::new(20, 20, 120, 28));
-    let gw = Gateway::spawn(ui, GatewayConfig::default(), Registry::new())
-        .expect("gateway binds loopback");
+    let registry = Registry::new();
+    let mut config = GatewayConfig::default();
+    let recorder = args.record.as_ref().map(|_| {
+        let rec = Recorder::new(TraceHeader {
+            seed: 0, // Wall-clock run: there is no seed.
+            protocol_version: PROTOCOL_VERSION,
+            pixel_format: PixelFormat::Rgb888,
+        });
+        rec.attach_telemetry(&registry);
+        config.recorder = Some(rec.tap());
+        rec
+    });
+    let gw = Gateway::spawn(ui, config, registry).expect("gateway binds loopback");
     let addr = gw.local_addr();
 
     let workers: Vec<_> = (0..args.clients)
@@ -101,6 +126,13 @@ fn main() {
         latencies.extend(lat);
     }
     let _panel = gw.shutdown();
+
+    if let (Some(rec), Some(path)) = (recorder, args.record.as_ref()) {
+        let records = rec.records_written();
+        let dropped = rec.dropped_chunks();
+        rec.finish_to(path).expect("write trace");
+        println!("gateway_load: recorded {records} messages to {path} ({dropped} chunks dropped)");
+    }
 
     latencies.sort_unstable();
     let pct = |p: f64| -> u64 {

@@ -38,7 +38,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use uniint_core::multi::{ClientId, MultiServer};
-use uniint_protocol::message::{encode_server, ClientMessage, ServerMessage};
+use uniint_core::tap::{Direction, SharedTap};
+use uniint_protocol::message::{encode_client, encode_server, ClientMessage, ServerMessage};
 use uniint_telemetry::registry::{Counter, Gauge, Registry};
 use uniint_wsys::ui::Ui;
 
@@ -83,6 +84,12 @@ pub struct GatewayConfig {
     /// How long the state thread waits for an event before running a
     /// housekeeping pass (application tick + damage pump).
     pub tick: Duration,
+    /// Flight-recorder tap (see `uniint-trace`). When set, the state
+    /// thread records every client message it processes and every
+    /// server message it queues, stamped with microseconds since
+    /// gateway start and channelled by connection id. `None` (the
+    /// default) costs one branch per message.
+    pub recorder: Option<SharedTap>,
 }
 
 impl Default for GatewayConfig {
@@ -96,6 +103,7 @@ impl Default for GatewayConfig {
             hello_grace: Duration::from_millis(250),
             session_grace: Some(Duration::from_secs(60)),
             tick: Duration::from_millis(10),
+            recorder: None,
         }
     }
 }
@@ -552,6 +560,10 @@ struct State {
     detached_at: HashMap<ClientId, Instant>,
     metrics: StateMetrics,
     registry: Registry,
+    /// Flight-recorder tap from [`GatewayConfig::recorder`].
+    recorder: Option<SharedTap>,
+    /// Timestamp origin for recorded messages.
+    started: Instant,
 }
 
 /// The single thread owning the panel and all protocol sessions.
@@ -570,6 +582,8 @@ fn state_loop(
         detached_at: HashMap::new(),
         metrics: StateMetrics::new(&registry),
         registry,
+        recorder: cfg.recorder.clone(),
+        started: Instant::now(),
     };
 
     loop {
@@ -733,6 +747,17 @@ impl State {
         if !self.conns.contains_key(&id) {
             return;
         }
+        if let Some(tap) = &self.recorder {
+            // Recorded at the moment the state thread consumes the
+            // message (held-back Hellos are recorded here too, in
+            // arrival order, even though their processing is deferred).
+            tap.record(
+                self.started.elapsed().as_micros() as u64,
+                id as u32,
+                Direction::ToServer,
+                &encode_client(&msg)[4..],
+            );
+        }
 
         // A held-back Hello resolves on the very next message (or, if
         // none comes, on the `hello_grace` timeout in housekeeping).
@@ -829,6 +854,16 @@ impl State {
             return;
         };
         for r in replies {
+            if let Some(tap) = &self.recorder {
+                // Recorded pre-queue, i.e. in the order the sessions
+                // produced the messages, before any coalescing.
+                tap.record(
+                    self.started.elapsed().as_micros() as u64,
+                    id as u32,
+                    Direction::ToClient,
+                    &encode_server(&r)[4..],
+                );
+            }
             match conn.queue.push(r) {
                 Pushed::Coalesced => self.metrics.write_coalesced.inc(),
                 Pushed::Overflow => {

@@ -1,7 +1,7 @@
 //! Rectangle encodings for framebuffer updates.
 //!
 //! The universal interaction protocol ships damaged rectangles from the
-//! UniInt server to the proxy. Five encodings are supported, mirroring the
+//! UniInt server to the proxy. Six encodings are supported, mirroring the
 //! classic thin-client repertoire:
 //!
 //! - [`Encoding::Raw`] — packed pixels, row by row.
@@ -789,6 +789,20 @@ mod tests {
             assert_eq!(Encoding::from_wire_id(e.wire_id()), Some(e));
         }
         assert_eq!(Encoding::from_wire_id(99), None);
+    }
+
+    #[test]
+    fn all_matches_from_wire_id_coverage() {
+        // `ALL` must list exactly the encodings `from_wire_id` accepts:
+        // an encoding added to one and not the other would ship in
+        // `SetEncodings` but fail to decode (or vice versa).
+        let decodable = (0..=u8::MAX)
+            .filter_map(Encoding::from_wire_id)
+            .collect::<Vec<_>>();
+        assert_eq!(decodable.len(), Encoding::ALL.len());
+        for e in &decodable {
+            assert!(Encoding::ALL.contains(e), "{e} decodable but not in ALL");
+        }
     }
 
     #[test]

@@ -75,6 +75,35 @@ impl Framebuffer {
         &self.pixels
     }
 
+    /// A cheap, stable 64-bit content hash (FNV-1a over dimensions and
+    /// row-major RGB bytes). Two framebuffers digest equal iff they
+    /// have the same size and identical pixels; damage state is
+    /// ignored. Used by the trace replayer's divergence checker and
+    /// printable from examples to eyeball two runs for identity.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        for b in self
+            .width
+            .to_be_bytes()
+            .into_iter()
+            .chain(self.height.to_be_bytes())
+        {
+            eat(b);
+        }
+        for px in &self.pixels {
+            eat(px.r);
+            eat(px.g);
+            eat(px.b);
+        }
+        h
+    }
+
     /// The pixel at `p`, or `None` when out of bounds.
     pub fn pixel(&self, p: Point) -> Option<Color> {
         if !self.bounds().contains(p) {

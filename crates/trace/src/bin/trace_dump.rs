@@ -1,0 +1,150 @@
+//! Human-readable summary of a recorded session trace.
+//!
+//! ```text
+//! trace_dump FILE
+//! ```
+//!
+//! Prints the header (seed, protocol version, pixel format), chunk and
+//! record totals, a message-type histogram per direction, bytes by
+//! rectangle encoding, and inter-arrival-time percentiles computed with
+//! the telemetry histogram (so the numbers match what instrumented
+//! sessions report).
+
+use std::collections::BTreeMap;
+
+use uniint_core::tap::Direction;
+use uniint_protocol::message::{ClientMessage, ServerMessage};
+use uniint_telemetry::histogram::Histogram;
+use uniint_trace::format::TraceReader;
+
+fn client_kind(m: &ClientMessage) -> &'static str {
+    match m {
+        ClientMessage::Hello { .. } => "Hello",
+        ClientMessage::SetPixelFormat(_) => "SetPixelFormat",
+        ClientMessage::SetEncodings(_) => "SetEncodings",
+        ClientMessage::UpdateRequest { .. } => "UpdateRequest",
+        ClientMessage::Input(_) => "Input",
+        ClientMessage::CutText(_) => "CutText",
+        ClientMessage::Resume { .. } => "Resume",
+        ClientMessage::DeviceHealth { .. } => "DeviceHealth",
+    }
+}
+
+fn server_kind(m: &ServerMessage) -> &'static str {
+    match m {
+        ServerMessage::Init { .. } => "Init",
+        ServerMessage::Update { .. } => "Update",
+        ServerMessage::Bell => "Bell",
+        ServerMessage::CutText(_) => "CutText",
+        ServerMessage::Resize { .. } => "Resize",
+        ServerMessage::ResumeAck { .. } => "ResumeAck",
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: trace_dump FILE");
+        std::process::exit(2);
+    };
+    let reader = match TraceReader::open(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace_dump: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let h = reader.header();
+    println!("trace {path}");
+    println!(
+        "  header: seed {} protocol v{} pixel format {:?} (format v1)",
+        h.seed, h.protocol_version, h.pixel_format
+    );
+    println!(
+        "  chunks: {} ({} dropped by retention ring), records: {}, index: {}",
+        reader.chunk_count(),
+        reader.dropped_chunks(),
+        reader.record_count(),
+        if reader.has_index() {
+            "yes"
+        } else {
+            "no (unfinished trace)"
+        },
+    );
+
+    let mut kinds: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // kind -> (count, bytes)
+    let mut enc_bytes: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // encoding -> (rects, bytes)
+    let mut channels: BTreeMap<u32, u64> = BTreeMap::new();
+    let inter_arrival = Histogram::new();
+    let mut last_t: Option<u64> = None;
+    let (mut first_t, mut end_t) = (None, 0u64);
+
+    for item in reader.records() {
+        let rec = match item {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("trace_dump: {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(prev) = last_t {
+            inter_arrival.record(rec.t_us.saturating_sub(prev));
+        }
+        last_t = Some(rec.t_us);
+        first_t.get_or_insert(rec.t_us);
+        end_t = rec.t_us;
+        *channels.entry(rec.channel).or_default() += 1;
+
+        let (arrow, kind) = match rec.dir {
+            Direction::ToServer => (
+                "c->s",
+                ClientMessage::decode_body(&mut rec.payload.as_slice())
+                    .map(|m| client_kind(&m))
+                    .unwrap_or("<undecodable>"),
+            ),
+            Direction::ToClient => match ServerMessage::decode_body(&mut rec.payload.as_slice()) {
+                Ok(m) => {
+                    if let ServerMessage::Update { rects, .. } = &m {
+                        for ru in rects {
+                            let e = enc_bytes.entry(format!("{:?}", ru.encoding)).or_default();
+                            e.0 += 1;
+                            e.1 += ru.payload.len() as u64;
+                        }
+                    }
+                    ("s->c", server_kind(&m))
+                }
+                Err(_) => ("s->c", "<undecodable>"),
+            },
+        };
+        let slot = kinds.entry(format!("{arrow} {kind}")).or_default();
+        slot.0 += 1;
+        slot.1 += rec.payload.len() as u64;
+    }
+
+    let span_us = end_t - first_t.unwrap_or(end_t);
+    println!("  span: {span_us} us across {} channel(s)", channels.len());
+    for (ch, n) in &channels {
+        println!("    channel {ch}: {n} records");
+    }
+
+    println!("  messages:");
+    for (kind, (count, bytes)) in &kinds {
+        println!("    {kind:<22} {count:>8} msgs {bytes:>12} bytes");
+    }
+
+    if !enc_bytes.is_empty() {
+        println!("  update payload by encoding:");
+        for (enc, (rects, bytes)) in &enc_bytes {
+            println!("    {enc:<22} {rects:>8} rects {bytes:>12} bytes");
+        }
+    }
+
+    let ia = inter_arrival.snapshot();
+    if ia.count > 0 {
+        println!(
+            "  inter-arrival us: p50 {} p95 {} p99 {} (min {} max {} over {} gaps)",
+            ia.p50, ia.p95, ia.p99, ia.min, ia.max, ia.count
+        );
+    }
+}

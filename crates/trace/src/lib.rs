@@ -1,0 +1,43 @@
+//! # uniint-trace
+//!
+//! Session flight recorder for the universal interaction protocol.
+//!
+//! Because every UniInt session is completely described by its ordered
+//! wire-message stream (bitmaps out, universal input in — the paper's
+//! whole point), a session can be captured as a compact binary trace
+//! and replayed later, deterministically, onto fresh endpoints:
+//!
+//! - [`format`](mod@format) — the chunked, CRC-protected on-disk format with
+//!   [`TraceWriter`](format::TraceWriter) /
+//!   [`TraceReader`](format::TraceReader) and bounded-memory
+//!   flight-recorder retention (`max_trace_bytes`, oldest chunk
+//!   evicted first);
+//! - [`recorder`] — a [`Recorder`](recorder::Recorder) handle that
+//!   plugs into the capture hooks exposed by
+//!   [`SimSession::connect_recorded`](uniint_core::session::SimSession::connect_recorded)
+//!   and the gateway's `GatewayConfig::recorder`;
+//! - [`replay`] — a [`Replayer`](replay::Replayer) that re-runs a
+//!   trace on the telemetry virtual clock, plus the divergence checker
+//!   that byte-compares a fresh server's regenerated stream against
+//!   the recording and pinpoints the first mismatching record.
+//!
+//! The `trace_dump` binary prints a human-readable summary of any
+//! trace file (message histogram, bytes by encoding, inter-arrival
+//! percentiles).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod recorder;
+pub mod replay;
+
+/// Convenient re-exports of the whole trace surface.
+pub mod prelude {
+    pub use crate::format::{
+        TraceConfig, TraceError, TraceHeader, TraceReader, TraceRecord, TraceWriter,
+    };
+    pub use crate::recorder::Recorder;
+    pub use crate::replay::{Divergence, ReplayError, ReplayOutcome, Replayer};
+    pub use uniint_core::tap::{Direction, SessionTap, SharedTap};
+}

@@ -1,0 +1,147 @@
+//! Shared-handle recorder wiring a [`TraceWriter`] to session tap
+//! points.
+//!
+//! A [`Recorder`] is the gluing object callers hold: it owns the writer
+//! behind a mutex, hands out [`SharedTap`]s to any number of sessions
+//! or gateway configs, and yields the finished trace bytes at the end.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use uniint_core::tap::{Direction, SessionTap, SharedTap};
+use uniint_telemetry::registry::Registry;
+
+use crate::format::{TraceConfig, TraceError, TraceHeader, TraceWriter};
+
+/// Owns a [`TraceWriter`] and exposes it as a [`SharedTap`].
+///
+/// Cloning is cheap; all clones (and all taps) feed the same writer.
+/// After [`Recorder::finish`] further records are silently discarded,
+/// so sessions still holding taps need no teardown coordination.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Mutex<Option<TraceWriter>>>,
+}
+
+impl Recorder {
+    /// Creates a recorder with default [`TraceConfig`].
+    pub fn new(header: TraceHeader) -> Recorder {
+        Recorder::with_config(header, TraceConfig::default())
+    }
+
+    /// Creates a recorder with explicit chunking/retention bounds.
+    pub fn with_config(header: TraceHeader, config: TraceConfig) -> Recorder {
+        Recorder {
+            inner: Arc::new(Mutex::new(Some(TraceWriter::with_config(header, config)))),
+        }
+    }
+
+    /// Mirrors writer activity into `registry` (`trace.records`,
+    /// `trace.dropped_chunks`).
+    pub fn attach_telemetry(&self, registry: &Registry) {
+        if let Ok(mut w) = self.inner.lock() {
+            if let Some(w) = w.as_mut() {
+                w.attach_telemetry(registry);
+            }
+        }
+    }
+
+    /// A tap handle to plug into a session or gateway config.
+    pub fn tap(&self) -> SharedTap {
+        SharedTap::new(RecorderTap {
+            inner: self.inner.clone(),
+        })
+    }
+
+    /// Records seen so far (0 once finished).
+    pub fn records_written(&self) -> u64 {
+        self.inner
+            .lock()
+            .ok()
+            .and_then(|w| w.as_ref().map(|w| w.records_written()))
+            .unwrap_or(0)
+    }
+
+    /// Chunks evicted by the retention ring so far (0 once finished).
+    pub fn dropped_chunks(&self) -> u64 {
+        self.inner
+            .lock()
+            .ok()
+            .and_then(|w| w.as_ref().map(|w| w.dropped_chunks()))
+            .unwrap_or(0)
+    }
+
+    /// Seals and serializes the trace. Returns `None` if some clone of
+    /// this recorder already finished it.
+    pub fn finish(&self) -> Option<Vec<u8>> {
+        self.inner.lock().ok()?.take().map(TraceWriter::finish)
+    }
+
+    /// [`Recorder::finish`] straight to a file.
+    pub fn finish_to(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let bytes = self
+            .finish()
+            .ok_or_else(|| TraceError::Io(std::io::Error::other("trace already finished")))?;
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct RecorderTap {
+    inner: Arc<Mutex<Option<TraceWriter>>>,
+}
+
+impl SessionTap for RecorderTap {
+    fn record(&mut self, t_us: u64, channel: u32, dir: Direction, bytes: &[u8]) {
+        if let Ok(mut w) = self.inner.lock() {
+            if let Some(w) = w.as_mut() {
+                w.record(t_us, channel, dir, bytes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceReader;
+    use uniint_raster::pixel::PixelFormat;
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            seed: 9,
+            protocol_version: 1,
+            pixel_format: PixelFormat::Rgb565,
+        }
+    }
+
+    #[test]
+    fn tap_feeds_writer_and_finish_is_once() {
+        let rec = Recorder::new(header());
+        let tap = rec.tap();
+        tap.record(5, 0, Direction::ToServer, &[1]);
+        tap.record(6, 0, Direction::ToClient, &[2, 3]);
+        assert_eq!(rec.records_written(), 2);
+        let bytes = rec.finish().expect("first finish yields the trace");
+        assert!(rec.finish().is_none(), "second finish is None");
+        // Late records after finish are dropped, not panicking.
+        tap.record(7, 0, Direction::ToServer, &[4]);
+        let reader = TraceReader::parse(bytes).unwrap();
+        assert_eq!(reader.record_count(), 2);
+        assert_eq!(reader.header(), &header());
+    }
+
+    #[test]
+    fn telemetry_counters_track_records() {
+        let registry = Registry::new();
+        let rec = Recorder::new(header());
+        rec.attach_telemetry(&registry);
+        let tap = rec.tap();
+        for i in 0..5 {
+            tap.record(i, 0, Direction::ToClient, &[0; 8]);
+        }
+        assert_eq!(registry.counter("trace.records").get(), 5);
+        assert_eq!(registry.counter("trace.dropped_chunks").get(), 0);
+    }
+}

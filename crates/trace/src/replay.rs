@@ -1,0 +1,395 @@
+//! Deterministic trace replay and divergence checking.
+//!
+//! Traces are recorded server-side ([`uniint_core::tap`]): the
+//! `ToServer` half is the exact sequence of client messages the server
+//! consumed, the `ToClient` half the exact sequence it produced. That
+//! gives two replay modes:
+//!
+//! - [`Replayer::replay`] drives a **fresh proxy alone** from the
+//!   `ToClient` half: every recorded server message is applied in
+//!   order on the telemetry [`VirtualClock`](uniint_telemetry::clock::VirtualClock), rebuilding the remote
+//!   framebuffer bit-for-bit and yielding the
+//!   [`Framebuffer::digest`](uniint_raster::framebuffer::Framebuffer::digest)
+//!   after every update. Two replays of one trace are byte-identical
+//!   (digest sequence and telemetry snapshot), which is what the CI
+//!   record/replay job checks.
+//! - [`Replayer::verify`] additionally drives a **fresh server** over a
+//!   caller-provided [`Ui`] (in the same initial state as the recorded
+//!   run): the `ToServer` half is fed in, and every message the server
+//!   regenerates is byte-compared against the recorded `ToClient`
+//!   record at the same position. The first mismatch is reported as a
+//!   [`Divergence`] carrying the record index, timestamp and reason —
+//!   pinpointing exactly where a mutated trace (or a behaviour change
+//!   in the server) departs from the recording.
+//!
+//! Verification requires the recorded run's UI to have changed only
+//! through the protocol (inputs, resumes, repaints) — the rule every
+//! session in this workspace follows; application-side mutations made
+//! between messages would need their own journal to reproduce.
+
+use std::collections::VecDeque;
+
+use uniint_core::plugin::OutputPlugin;
+use uniint_core::proxy::UniIntProxy;
+use uniint_core::server::UniIntServer;
+use uniint_core::tap::Direction;
+use uniint_protocol::error::ProtocolError;
+use uniint_protocol::message::{encode_server, ClientMessage, ServerMessage};
+use uniint_telemetry::registry::Registry;
+use uniint_telemetry::snapshot::Snapshot;
+use uniint_wsys::ui::Ui;
+
+use crate::format::{TraceError, TraceReader, TraceRecord};
+
+/// The first point where a replay departed from the recorded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Zero-based index of the first diverging record (== total record
+    /// count when the server produced *extra* trailing messages).
+    pub record_index: usize,
+    /// Timestamp of that record, microseconds.
+    pub t_us: u64,
+    /// Human-readable explanation of the mismatch.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "diverged at record {} (t={}us): {}",
+            self.record_index, self.t_us, self.reason
+        )
+    }
+}
+
+/// Why a replay failed.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The trace itself could not be read.
+    Trace(TraceError),
+    /// A recorded message body failed protocol decoding.
+    Protocol {
+        /// Index of the undecodable record.
+        record_index: usize,
+        /// The decode error.
+        error: ProtocolError,
+    },
+    /// The regenerated stream departed from the recording.
+    Diverged(Divergence),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Trace(e) => write!(f, "replay: {e}"),
+            ReplayError::Protocol {
+                record_index,
+                error,
+            } => write!(f, "replay: record {record_index} undecodable: {error}"),
+            ReplayError::Diverged(d) => write!(f, "replay {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Trace(e) => Some(e),
+            ReplayError::Protocol { error, .. } => Some(error),
+            ReplayError::Diverged(_) => None,
+        }
+    }
+}
+
+impl From<TraceError> for ReplayError {
+    fn from(e: TraceError) -> ReplayError {
+        ReplayError::Trace(e)
+    }
+}
+
+/// Everything a replay produced, for determinism checks and benches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Total records consumed.
+    pub records: u64,
+    /// Client→server records seen.
+    pub to_server: u64,
+    /// Server→client records seen (applied to the replay proxy).
+    pub to_client: u64,
+    /// `ServerMessage::Update`s applied.
+    pub updates_applied: u64,
+    /// Sum of recorded message body bytes.
+    pub payload_bytes: u64,
+    /// Virtual time between first and last record, microseconds.
+    pub virtual_elapsed_us: u64,
+    /// `(record index, framebuffer digest)` after every applied update.
+    pub digests: Vec<(usize, u64)>,
+    /// Final telemetry snapshot of the replay registry (virtual-clocked,
+    /// so byte-identical across replays of one trace).
+    pub snapshot: Snapshot,
+}
+
+impl ReplayOutcome {
+    /// The framebuffer digest after the last applied update.
+    pub fn final_digest(&self) -> Option<u64> {
+        self.digests.last().map(|&(_, d)| d)
+    }
+
+    /// Compares two replays of (nominally) the same trace: the first
+    /// differing per-update digest wins, then the telemetry snapshots.
+    /// `None` means the replays are identical.
+    pub fn diff(&self, other: &ReplayOutcome) -> Option<Divergence> {
+        for (i, (a, b)) in self.digests.iter().zip(&other.digests).enumerate() {
+            if a != b {
+                return Some(Divergence {
+                    record_index: a.0,
+                    t_us: 0,
+                    reason: format!(
+                        "update #{i} digest {:016x} vs {:016x} (records {} vs {})",
+                        a.1, b.1, a.0, b.0
+                    ),
+                });
+            }
+        }
+        if self.digests.len() != other.digests.len() {
+            let longer = if self.digests.len() > other.digests.len() {
+                &self.digests
+            } else {
+                &other.digests
+            };
+            let extra = longer[self.digests.len().min(other.digests.len())];
+            return Some(Divergence {
+                record_index: extra.0,
+                t_us: 0,
+                reason: format!(
+                    "update counts differ: {} vs {}",
+                    self.digests.len(),
+                    other.digests.len()
+                ),
+            });
+        }
+        if self.snapshot != other.snapshot {
+            return Some(Divergence {
+                record_index: self.records.min(other.records) as usize,
+                t_us: 0,
+                reason: "final telemetry snapshots differ".into(),
+            });
+        }
+        None
+    }
+}
+
+/// Replays a trace onto fresh protocol endpoints driven by the
+/// telemetry virtual clock.
+pub struct Replayer {
+    registry: Registry,
+    output: Option<Box<dyn OutputPlugin>>,
+}
+
+impl std::fmt::Debug for Replayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replayer")
+            .field("output", &self.output.as_ref().map(|p| p.kind()))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Replayer {
+    fn default() -> Replayer {
+        Replayer::new()
+    }
+}
+
+impl Replayer {
+    /// A replayer with a fresh telemetry registry and no output device.
+    pub fn new() -> Replayer {
+        Replayer {
+            registry: Registry::new(),
+            output: None,
+        }
+    }
+
+    /// Attaches an output plug-in to the replay proxy, so frame
+    /// adaptation runs during replay too (used by the replay bench to
+    /// measure decode+adapt throughput on recorded traffic).
+    pub fn with_output(plugin: Box<dyn OutputPlugin>) -> Replayer {
+        Replayer {
+            registry: Registry::new(),
+            output: Some(plugin),
+        }
+    }
+
+    /// The registry the replayed endpoints are instrumented into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Drives a fresh proxy from the trace's server→client half,
+    /// collecting the digest after every applied update. `ToServer`
+    /// records are counted but not interpreted (there is no server).
+    pub fn replay(self, reader: &TraceReader) -> Result<ReplayOutcome, ReplayError> {
+        self.run(reader, None)
+    }
+
+    /// Full divergence check: drives a fresh server over `ui` (which
+    /// must be in the recorded run's *initial* state) with the
+    /// client→server half, comparing every regenerated message
+    /// byte-for-byte against the recorded server→client half, while a
+    /// shadow proxy applies the recorded updates for digests. Returns
+    /// [`ReplayError::Diverged`] at the first mismatch.
+    pub fn verify(self, reader: &TraceReader, ui: &mut Ui) -> Result<ReplayOutcome, ReplayError> {
+        self.run(reader, Some(ui))
+    }
+
+    fn run(
+        self,
+        reader: &TraceReader,
+        mut ui: Option<&mut Ui>,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        let registry = self.registry;
+        let mut proxy = UniIntProxy::with_telemetry("replay-proxy", registry.clone());
+        if let Some(plugin) = self.output {
+            // The renegotiation messages an attach would send are
+            // already part of the recorded conversation; drop them.
+            let _ = proxy.attach_output(plugin);
+        }
+        let mut server = ui
+            .as_deref()
+            .map(|ui| UniIntServer::with_telemetry(ui, registry.clone()));
+        // Server messages regenerated by `server` but not yet matched
+        // against a recorded ToClient record (bodies, no length prefix).
+        let mut pending: VecDeque<Vec<u8>> = VecDeque::new();
+
+        let mut outcome = ReplayOutcome {
+            records: 0,
+            to_server: 0,
+            to_client: 0,
+            updates_applied: 0,
+            payload_bytes: 0,
+            virtual_elapsed_us: 0,
+            digests: Vec::new(),
+            snapshot: registry.snapshot(),
+        };
+        let mut first_t = None;
+        let mut last_t = 0;
+
+        for (index, record) in reader.records().enumerate() {
+            let record = record?;
+            registry.clock().set_us(record.t_us);
+            first_t.get_or_insert(record.t_us);
+            last_t = record.t_us;
+            outcome.records += 1;
+            outcome.payload_bytes += record.payload.len() as u64;
+            match record.dir {
+                Direction::ToServer => {
+                    outcome.to_server += 1;
+                    if let (Some(server), Some(ui)) = (server.as_mut(), ui.as_deref_mut()) {
+                        let msg = decode_client(index, &record)?;
+                        for reply in server.handle_message(ui, msg) {
+                            pending.push_back(body(&reply));
+                        }
+                    }
+                }
+                Direction::ToClient => {
+                    outcome.to_client += 1;
+                    if let (Some(server), Some(ui)) = (server.as_mut(), ui.as_deref_mut()) {
+                        if pending.is_empty() {
+                            // The recorded message came from a pump
+                            // (application damage flush), not a reply:
+                            // pump the fresh server at the same point.
+                            for m in server.pump(ui) {
+                                pending.push_back(body(&m));
+                            }
+                        }
+                        match pending.pop_front() {
+                            None => {
+                                return Err(ReplayError::Diverged(Divergence {
+                                    record_index: index,
+                                    t_us: record.t_us,
+                                    reason: "server regenerated no message here".into(),
+                                }))
+                            }
+                            Some(expected) if expected != record.payload => {
+                                return Err(ReplayError::Diverged(Divergence {
+                                    record_index: index,
+                                    t_us: record.t_us,
+                                    reason: mismatch_reason(&expected, &record.payload),
+                                }))
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    let msg = decode_server(index, &record)?;
+                    let is_update = matches!(msg, ServerMessage::Update { .. });
+                    let _ = proxy
+                        .handle_server(&msg)
+                        .map_err(|error| ReplayError::Protocol {
+                            record_index: index,
+                            error,
+                        })?;
+                    if is_update {
+                        outcome.updates_applied += 1;
+                        if let Some(fb) = proxy.server_frame() {
+                            outcome.digests.push((index, fb.digest()));
+                        }
+                    }
+                }
+            }
+        }
+
+        if !pending.is_empty() {
+            return Err(ReplayError::Diverged(Divergence {
+                record_index: outcome.records as usize,
+                t_us: last_t,
+                reason: format!(
+                    "server regenerated {} message(s) past the end of the trace",
+                    pending.len()
+                ),
+            }));
+        }
+
+        outcome.virtual_elapsed_us = last_t - first_t.unwrap_or(last_t);
+        outcome.snapshot = registry.snapshot();
+        Ok(outcome)
+    }
+}
+
+/// Encodes a server message body (no length prefix), as recorded.
+fn body(m: &ServerMessage) -> Vec<u8> {
+    encode_server(m)[4..].to_vec()
+}
+
+fn decode_client(index: usize, record: &TraceRecord) -> Result<ClientMessage, ReplayError> {
+    ClientMessage::decode_body(&mut record.payload.as_slice()).map_err(|error| {
+        ReplayError::Protocol {
+            record_index: index,
+            error,
+        }
+    })
+}
+
+fn decode_server(index: usize, record: &TraceRecord) -> Result<ServerMessage, ReplayError> {
+    ServerMessage::decode_body(&mut record.payload.as_slice()).map_err(|error| {
+        ReplayError::Protocol {
+            record_index: index,
+            error,
+        }
+    })
+}
+
+/// Describes the first differing byte between a regenerated and a
+/// recorded message body.
+fn mismatch_reason(expected: &[u8], recorded: &[u8]) -> String {
+    let at = expected
+        .iter()
+        .zip(recorded)
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| expected.len().min(recorded.len()));
+    format!(
+        "regenerated message differs from recording at byte {at} \
+         (regenerated {} bytes, recorded {} bytes)",
+        expected.len(),
+        recorded.len()
+    )
+}

@@ -57,6 +57,13 @@ fn main() {
     );
     println!("{}", ascii_art(&frame.frame));
 
+    // The panel's pixels in one number: a stable 64-bit digest, handy
+    // for golden assertions and record/replay divergence checks.
+    println!(
+        "Server framebuffer digest: {:016x}",
+        app.ui().framebuffer().digest()
+    );
+
     // 7. Everything above was measured: the session's server and proxy
     //    share one telemetry registry, and because no wall clock is ever
     //    consulted the snapshot below is byte-identical on every run.

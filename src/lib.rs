@@ -22,6 +22,7 @@
 //! | [`apps`] | `uniint-apps` | appliance control-panel applications |
 //! | [`gateway`] | `uniint-gateway` | real TCP transport: concurrent host + resuming client |
 //! | [`telemetry`] | `uniint-telemetry` | deterministic metrics, journal, snapshots |
+//! | [`trace`] | `uniint-trace` | session flight recorder: capture, replay, divergence checks |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use uniint_netsim as netsim;
 pub use uniint_protocol as protocol;
 pub use uniint_raster as raster;
 pub use uniint_telemetry as telemetry;
+pub use uniint_trace as trace;
 pub use uniint_wsys as wsys;
 
 /// One prelude across the whole system.
@@ -72,6 +74,10 @@ pub mod prelude {
     pub use uniint_telemetry::prelude::{
         Counter, Gauge, Histogram, HistogramSnapshot, Journal, JournalEvent, Snapshot, Span,
         VirtualClock,
+    };
+    pub use uniint_trace::prelude::{
+        Divergence, Recorder, ReplayError, ReplayOutcome, Replayer, TraceConfig, TraceError,
+        TraceHeader, TraceReader, TraceRecord, TraceWriter,
     };
     pub use uniint_wsys::prelude::{
         columns, grid, rows, Action, ActionEvent, Align, Button, Cell, Checkbox, ImageView, Label,
